@@ -1,0 +1,79 @@
+// Fault simulator throughput (the substrate of the paper's Section 6
+// validation, ref. [13]): march execution speed, detection cost per fault
+// instance, and scaling in the simulated memory size.
+#include <benchmark/benchmark.h>
+
+#include "fp/fault_list.hpp"
+#include "march/catalog.hpp"
+#include "memory/pattern_graph.hpp"
+#include "sim/coverage.hpp"
+
+namespace {
+
+using namespace mtg;
+
+void BM_MarchSlSingleInstance(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const FaultSimulator simulator(SimulatorOptions{n, true, 10});
+  const MarchTest test = march_sl();
+  FaultInstance inst;
+  inst.fps.push_back(BoundFp(
+      FaultPrimitive::cfds(Bit::Zero, SenseOp::W1, Bit::Zero), 0, n - 1));
+  inst.fps.push_back(BoundFp(
+      FaultPrimitive::cfds(Bit::One, SenseOp::W0, Bit::One), 0, n - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.detects(test, inst));
+  }
+  // Operations applied per detects() call: 41n ops × cells × 4 scenarios.
+  state.counters["ops/call"] = static_cast<double>(41 * n * 4);
+}
+BENCHMARK(BM_MarchSlSingleInstance)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_FaultyMemoryOpThroughput(benchmark::State& state) {
+  FaultyMemory memory(8, {BoundFp(FaultPrimitive::cfds(Bit::Zero, SenseOp::W1,
+                                                       Bit::Zero),
+                                  0, 7),
+                          BoundFp::at(FaultPrimitive::sf(Bit::One), 3)});
+  memory.power_on_uniform(Bit::Zero);
+  std::size_t address = 0;
+  for (auto _ : state) {
+    memory.write(address & 7, (address & 8) ? Bit::One : Bit::Zero);
+    benchmark::DoNotOptimize(memory.read(address & 7));
+    ++address;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FaultyMemoryOpThroughput);
+
+void BM_CoverageFaultListTwo(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const FaultSimulator simulator(SimulatorOptions{n, true, 10});
+  const FaultList list = fault_list_2();
+  const MarchTest test = march_abl1();
+  for (auto _ : state) {
+    const CoverageReport report = evaluate_coverage(simulator, test, list);
+    benchmark::DoNotOptimize(report.entries.data());
+  }
+}
+BENCHMARK(BM_CoverageFaultListTwo)->DenseRange(4, 8, 2)->Unit(benchmark::kMillisecond);
+
+void BM_CoverageFaultListOneMarchSl(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const FaultSimulator simulator(SimulatorOptions{n, true, 10});
+  const FaultList list = fault_list_1();
+  const MarchTest test = march_sl();
+  for (auto _ : state) {
+    const CoverageReport report = evaluate_coverage(simulator, test, list);
+    benchmark::DoNotOptimize(report.entries.data());
+  }
+  state.counters["instances"] =
+      static_cast<double>(instantiate_all(list, n).size());
+}
+BENCHMARK(BM_CoverageFaultListOneMarchSl)
+    ->DenseRange(4, 6, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

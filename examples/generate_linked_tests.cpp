@@ -1,0 +1,74 @@
+// Example: the paper's main experiment — generate march tests for Fault
+// List #1 and Fault List #2 and compare them with the published baselines
+// (the rows of Table 1).
+//
+// Usage: generate_linked_tests [list#]   (default: both)
+#include <cstdlib>
+#include <iostream>
+
+#include "fp/fault_list.hpp"
+#include "gen/generator.hpp"
+#include "march/catalog.hpp"
+#include "sim/coverage.hpp"
+
+namespace {
+
+void run(const mtg::FaultList& list, const std::vector<mtg::MarchTest>& baselines,
+         const mtg::GeneratorOptions& options = {}) {
+  using namespace mtg;
+  std::cout << "=== " << list.name << " (" << list.size() << " faults) ===\n";
+
+  const GenerationResult result = generate_march_test(list, options);
+  std::cout << "generated " << result.test.to_string() << "\n"
+            << "  complexity " << result.test.complexity_label() << " ("
+            << result.stats.complexity_before_minimize
+            << "n before redundancy elimination)\n"
+            << "  CPU time " << result.stats.elapsed_seconds << " s, "
+            << result.stats.greedy_rounds << " greedy rounds, pool "
+            << result.stats.candidate_pool << ", "
+            << result.stats.working_instances << " working / "
+            << result.stats.certify_instances << " certification instances\n";
+  for (const std::string& line : result.stats.log) {
+    if (line.rfind("phase", 0) == 0 || line.rfind("stalled", 0) == 0 ||
+        line.rfind("certification", 0) == 0) {
+      std::cout << "  [log] " << line << "\n";
+    }
+  }
+  if (!result.uncoverable.empty()) {
+    std::cout << "  uncoverable faults reported: " << result.uncoverable.size()
+              << "\n";
+    for (const auto& name : result.uncoverable) std::cout << "    " << name << "\n";
+  }
+  std::cout << "  certification: " << result.certification.summary() << "\n";
+
+  const FaultSimulator simulator;
+  for (const MarchTest& baseline : baselines) {
+    const CoverageReport report = evaluate_coverage(simulator, baseline, list);
+    const double reduction =
+        100.0 *
+        (static_cast<double>(baseline.complexity()) -
+         static_cast<double>(result.test.complexity())) /
+        static_cast<double>(baseline.complexity());
+    std::cout << "  vs " << baseline.name() << " (" << baseline.complexity_label()
+              << ", covers " << report.fault_coverage_percent()
+              << "%): length reduction " << reduction << "%\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mtg;
+  const int which = argc > 1 ? std::atoi(argv[1]) : 0;
+  GeneratorOptions options;
+  if (argc > 2) options.working_memory_size = std::atoi(argv[2]);
+  if (argc > 3) options.max_element_length = std::atoi(argv[3]);
+  if (which == 0 || which == 2) {
+    run(fault_list_2(), {march_lf1(), march_abl1()}, options);
+  }
+  if (which == 0 || which == 1) {
+    run(fault_list_1(), {march_sl(), march_abl(), march_rabl()}, options);
+  }
+  return 0;
+}

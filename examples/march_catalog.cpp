@@ -1,0 +1,29 @@
+// Example: print the catalog of published march tests with complexity,
+// validity status and the structural detection-capability gaps the
+// analyzer derives (why a cheap test cannot cover the static fault space).
+#include <iomanip>
+#include <iostream>
+
+#include "march/analysis.hpp"
+#include "march/catalog.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace mtg;
+
+  std::cout << std::left << std::setw(12) << "Test" << std::setw(6) << "O(n)"
+            << "Notation\n";
+  std::cout << std::string(90, '-') << "\n";
+  for (const MarchTest& test : all_catalog_tests()) {
+    const std::string violation = FaultSimulator::validity_violation(test);
+    std::cout << std::left << std::setw(12) << test.name() << std::setw(6)
+              << test.complexity_label() << test.to_string() << "\n";
+    if (!violation.empty()) {
+      std::cout << "  INVALID: " << violation << "\n";
+    }
+    for (const std::string& gap : structural_gaps(test)) {
+      std::cout << "    gap: " << gap << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// mtg_cli — command line front end for the march test generation library.
+//
+//   mtg_cli catalog
+//       list the published march tests with complexity
+//   mtg_cli lists
+//       show the built-in fault lists and their sizes
+//   mtg_cli generate <list1|list2|simple>
+//       generate a march test for a built-in fault list
+//   mtg_cli coverage "<march notation>" <list1|list2|simple> [n]
+//       fault-simulate a march test (e.g. "{c(w0); ^(r0,w1); v(r1,w0)}")
+//   mtg_cli dot <g0|pgcf>
+//       print the Figure 2 / Figure 4 graph as GraphViz DOT
+#include <iostream>
+#include <string>
+
+#include "fp/fault_list.hpp"
+#include "gen/generator.hpp"
+#include "march/catalog.hpp"
+#include "march/parser.hpp"
+#include "memory/pattern_graph.hpp"
+#include "sim/coverage.hpp"
+
+namespace {
+
+using namespace mtg;
+
+FaultList list_by_name(const std::string& name) {
+  if (name == "list1") return fault_list_1();
+  if (name == "list2") return fault_list_2();
+  if (name == "simple") return standard_simple_static_faults();
+  throw Error("unknown fault list '" + name + "' (use list1, list2 or simple)");
+}
+
+int cmd_catalog() {
+  for (const MarchTest& test : all_catalog_tests()) {
+    std::cout << test.name() << " (" << test.complexity_label() << "): "
+              << test.to_string() << "\n";
+  }
+  return 0;
+}
+
+int cmd_lists() {
+  for (const char* name : {"list1", "list2", "simple"}) {
+    const FaultList list = list_by_name(name);
+    std::cout << name << ": " << list.name << " — " << list.size()
+              << " faults (" << list.simple.size() << " simple, "
+              << list.linked.size() << " linked)\n";
+  }
+  return 0;
+}
+
+int cmd_generate(const std::string& list_name) {
+  const FaultList list = list_by_name(list_name);
+  const GenerationResult result = generate_march_test(list);
+  std::cout << result.test.to_string() << "\n"
+            << "complexity: " << result.test.complexity_label() << "\n"
+            << "cpu time:   " << result.stats.elapsed_seconds << " s\n"
+            << result.certification.summary() << "\n";
+  for (const std::string& name : result.uncoverable) {
+    std::cout << "uncoverable: " << name << "\n";
+  }
+  return result.full_coverage ? 0 : 1;
+}
+
+int cmd_coverage(const std::string& notation, const std::string& list_name,
+                 std::size_t n) {
+  const MarchTest test = parse_march_test(notation, "cli test");
+  const FaultList list = list_by_name(list_name);
+  const FaultSimulator simulator(SimulatorOptions{n, true, 10});
+  const CoverageReport report = evaluate_coverage(simulator, test, list);
+  std::cout << report.summary() << "\n";
+  return report.full_coverage() ? 0 : 1;
+}
+
+int cmd_dot(const std::string& which) {
+  if (which == "g0") {
+    std::cout << make_g0().to_dot("G0");
+    return 0;
+  }
+  if (which == "pgcf") {
+    std::cout << make_pgcf().to_dot("PGCF");
+    return 0;
+  }
+  throw Error("unknown graph '" + which + "' (use g0 or pgcf)");
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  mtg_cli catalog\n"
+            << "  mtg_cli lists\n"
+            << "  mtg_cli generate <list1|list2|simple>\n"
+            << "  mtg_cli coverage \"<march notation>\" <list1|list2|simple> [n]\n"
+            << "  mtg_cli dot <g0|pgcf>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string command = argc > 1 ? argv[1] : "";
+    if (command == "catalog") return cmd_catalog();
+    if (command == "lists") return cmd_lists();
+    if (command == "generate" && argc > 2) return cmd_generate(argv[2]);
+    if (command == "coverage" && argc > 3) {
+      const std::size_t n = argc > 4 ? std::stoul(argv[4]) : 6;
+      return cmd_coverage(argv[2], argv[3], n);
+    }
+    if (command == "dot" && argc > 2) return cmd_dot(argv[2]);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

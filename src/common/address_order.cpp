@@ -1,0 +1,38 @@
+#include "common/address_order.hpp"
+
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace mtg {
+
+std::string to_symbol(AddressOrder order) {
+  switch (order) {
+    case AddressOrder::Up: return "⇑";    // ⇑
+    case AddressOrder::Down: return "⇓";  // ⇓
+    case AddressOrder::Any: return "⇕";   // ⇕
+  }
+  throw InternalError("to_symbol(AddressOrder): unreachable");
+}
+
+char to_ascii(AddressOrder order) {
+  switch (order) {
+    case AddressOrder::Up: return '^';
+    case AddressOrder::Down: return 'v';
+    case AddressOrder::Any: return 'c';
+  }
+  throw InternalError("to_ascii(AddressOrder): unreachable");
+}
+
+AddressOrder address_order_from_string(std::string_view token) {
+  if (token == "^" || token == "⇑" || token == "up") return AddressOrder::Up;
+  if (token == "v" || token == "⇓" || token == "down") return AddressOrder::Down;
+  if (token == "c" || token == "⇕" || token == "any") return AddressOrder::Any;
+  throw Error("unknown address order token: '" + std::string(token) + "'");
+}
+
+std::ostream& operator<<(std::ostream& os, AddressOrder order) {
+  return os << to_symbol(order);
+}
+
+}  // namespace mtg

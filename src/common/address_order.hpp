@@ -1,0 +1,33 @@
+// Address orders for march elements (Definition 10).
+//
+// A march element applies its operation sequence to every memory cell in a
+// given order: increasing (⇑), decreasing (⇓), or any/irrelevant (⇕).  A
+// correct march test must achieve its fault coverage for *every* concrete
+// choice of the ⇕ orders, which is how the fault simulator treats them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace mtg {
+
+enum class AddressOrder : std::uint8_t {
+  Up,    ///< ⇑ — ascending addresses
+  Down,  ///< ⇓ — descending addresses
+  Any,   ///< ⇕ — order irrelevant (must work for both)
+};
+
+/// Unicode arrow used by the literature: "⇑", "⇓", "⇕".
+std::string to_symbol(AddressOrder order);
+
+/// ASCII form accepted and produced by the parser: "^", "v", "c".
+char to_ascii(AddressOrder order);
+
+/// Parses "^", "v", "c", "⇑", "⇓", "⇕" (and "up"/"down"/"any").
+AddressOrder address_order_from_string(std::string_view token);
+
+std::ostream& operator<<(std::ostream& os, AddressOrder order);
+
+}  // namespace mtg

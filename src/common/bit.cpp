@@ -1,0 +1,11 @@
+#include "common/bit.hpp"
+
+#include <ostream>
+
+namespace mtg {
+
+std::ostream& operator<<(std::ostream& os, Bit b) { return os << to_char(b); }
+
+std::ostream& operator<<(std::ostream& os, Tri t) { return os << to_char(t); }
+
+}  // namespace mtg

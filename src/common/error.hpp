@@ -1,0 +1,48 @@
+// Error handling utilities shared by all mtg modules.
+//
+// The library distinguishes two failure classes:
+//  * API misuse / malformed inputs  -> mtg::Error (an exception carrying a
+//    human readable message).  Examples: parsing an ill-formed march string,
+//    constructing a fault primitive with two sensitizing operations.
+//  * Internal invariant violations  -> MTG_INTERNAL_CHECK, which throws
+//    mtg::InternalError with file/line context.  These indicate bugs in the
+//    library itself, never user input problems.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mtg {
+
+/// Base exception for all user-facing errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an internal invariant does not hold (library bug).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Throws mtg::Error with `message` when `condition` is false.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+/// Overload avoiding std::string construction on the success path (hot code).
+inline void require(bool condition, const char* message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace mtg
+
+#define MTG_INTERNAL_CHECK(cond, msg)                                      \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      throw ::mtg::InternalError(std::string("internal check failed at ") + \
+                                 __FILE__ + ":" + std::to_string(__LINE__) + \
+                                 ": " + (msg));                            \
+    }                                                                      \
+  } while (false)

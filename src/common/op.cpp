@@ -1,0 +1,41 @@
+#include "common/op.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace mtg {
+
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::W0: return "w0";
+    case Op::W1: return "w1";
+    case Op::R0: return "r0";
+    case Op::R1: return "r1";
+    case Op::R: return "r";
+    case Op::T: return "t";
+  }
+  throw InternalError("to_string(Op): unreachable");
+}
+
+Op op_from_string(std::string_view token) {
+  if (token == "w0") return Op::W0;
+  if (token == "w1") return Op::W1;
+  if (token == "r0") return Op::R0;
+  if (token == "r1") return Op::R1;
+  if (token == "r") return Op::R;
+  if (token == "t") return Op::T;
+  throw Error("unknown memory operation token: '" + std::string(token) + "'");
+}
+
+std::ostream& operator<<(std::ostream& os, Op op) { return os << to_string(op); }
+
+std::string to_string(const std::vector<Op>& ops) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) out << ',';
+    out << to_string(ops[i]);
+  }
+  return out.str();
+}
+
+}  // namespace mtg

@@ -1,0 +1,76 @@
+// Memory operations — the input alphabet X of Definition 2.
+//
+//   X = { r_d, w_d | d in {0,1} } ∪ { t }
+//
+// A march element is a sequence of these operations.  Read operations carry
+// the value expected on a fault-free memory (`r0` / `r1`); the bare read `r`
+// (expected value unspecified) is also representable because the paper's
+// Definition 2 allows omitting it.  `t` is the wait operation used for data
+// retention faults.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bit.hpp"
+
+namespace mtg {
+
+/// One memory operation from the alphabet X (Definition 2).
+enum class Op : std::uint8_t {
+  W0,  ///< write 0
+  W1,  ///< write 1
+  R0,  ///< read, expecting 0 on a fault-free memory
+  R1,  ///< read, expecting 1 on a fault-free memory
+  R,   ///< read with unspecified expected value
+  T,   ///< wait (data-retention delay)
+};
+
+/// All operations, in a stable order (useful for exhaustive sweeps).
+inline constexpr Op kAllOps[] = {Op::W0, Op::W1, Op::R0, Op::R1, Op::R, Op::T};
+
+constexpr bool is_write(Op op) noexcept { return op == Op::W0 || op == Op::W1; }
+constexpr bool is_read(Op op) noexcept {
+  return op == Op::R0 || op == Op::R1 || op == Op::R;
+}
+constexpr bool is_wait(Op op) noexcept { return op == Op::T; }
+
+/// The value written by a write operation; throws for non-writes.
+inline Bit written_value(Op op) {
+  require(is_write(op), "written_value: operation is not a write");
+  return op == Op::W1 ? Bit::One : Bit::Zero;
+}
+
+/// The expected read value, if the operation is a read that specifies one.
+inline std::optional<Bit> expected_value(Op op) {
+  if (op == Op::R0) return Bit::Zero;
+  if (op == Op::R1) return Bit::One;
+  return std::nullopt;
+}
+
+/// Builds a write of value `d`.
+constexpr Op make_write(Bit d) noexcept {
+  return d == Bit::One ? Op::W1 : Op::W0;
+}
+
+/// Builds a read expecting value `d`.
+constexpr Op make_read(Bit d) noexcept {
+  return d == Bit::One ? Op::R1 : Op::R0;
+}
+
+/// Textual form used by the march notation: "w0", "w1", "r0", "r1", "r", "t".
+std::string to_string(Op op);
+
+/// Parses one operation token; throws mtg::Error on unknown tokens.
+Op op_from_string(std::string_view token);
+
+std::ostream& operator<<(std::ostream& os, Op op);
+
+/// Renders a comma separated operation list, e.g. "r0,w1,r1".
+std::string to_string(const std::vector<Op>& ops);
+
+}  // namespace mtg

@@ -1,0 +1,135 @@
+#include "fp/afp.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mtg {
+
+std::string to_string(const AddressedOp& aop) {
+  if (aop.op == Op::T) return "t";  // the wait operation has no address
+  return to_string(aop.op) + "[" + std::to_string(aop.cell) + "]";
+}
+
+std::string to_string(const std::vector<AddressedOp>& ops) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) out << ',';
+    out << to_string(ops[i]);
+  }
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const AddressedOp& aop) {
+  return os << to_string(aop);
+}
+
+std::string Afp::to_string() const {
+  std::ostringstream out;
+  out << '(' << initial << ", " << mtg::to_string(sensitize) << ", " << faulty
+      << ", " << good << ')';
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Afp& afp) {
+  return os << afp.to_string();
+}
+
+std::string TestPattern::to_string() const {
+  std::ostringstream out;
+  out << '(' << initial << ", " << mtg::to_string(ops) << ')';
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TestPattern& tp) {
+  return os << tp.to_string();
+}
+
+namespace {
+
+/// The sensitizing operation of `fp` bound to its cell, annotated with the
+/// fault-free expected value for reads; std::nullopt for state faults.
+std::optional<AddressedOp> sensitizing_op(const FaultPrimitive& fp,
+                                          std::size_t a_cell,
+                                          std::size_t v_cell) {
+  if (fp.is_state_fault()) return std::nullopt;
+  const std::size_t cell = fp.op_on_aggressor() ? a_cell : v_cell;
+  switch (fp.sense_op()) {
+    case SenseOp::W0: return AddressedOp{cell, Op::W0};
+    case SenseOp::W1: return AddressedOp{cell, Op::W1};
+    case SenseOp::Rd: {
+      // A sensitizing read reads the cell's current fault-free value.
+      const Bit expected = fp.op_on_aggressor() ? fp.a_state() : fp.v_state();
+      return AddressedOp{cell, make_read(expected)};
+    }
+    case SenseOp::None: break;
+  }
+  throw InternalError("sensitizing_op: unreachable");
+}
+
+}  // namespace
+
+std::vector<Afp> expand_afps(const FaultPrimitive& fp, std::size_t a_cell,
+                             std::size_t v_cell, std::size_t model_cells) {
+  require(model_cells >= 1 && model_cells <= SmallState::kMaxCells,
+          "expand_afps: bad model size");
+  require(v_cell < model_cells && a_cell < model_cells,
+          "expand_afps: cell index out of range");
+  if (fp.is_two_cell()) {
+    require(a_cell != v_cell, "expand_afps: two-cell FP needs distinct cells");
+  } else {
+    require(a_cell == v_cell, "expand_afps: single-cell FP has a_cell == v_cell");
+  }
+
+  // Cells not constrained by the FP get every possible background value.
+  std::vector<std::size_t> free_cells;
+  for (std::size_t c = 0; c < model_cells; ++c) {
+    if (c != v_cell && !(fp.is_two_cell() && c == a_cell)) free_cells.push_back(c);
+  }
+
+  std::vector<Afp> result;
+  const std::size_t backgrounds = std::size_t{1} << free_cells.size();
+  for (std::size_t bg = 0; bg < backgrounds; ++bg) {
+    Afp afp;
+    afp.victim = v_cell;
+    afp.aggressor = a_cell;
+    SmallState initial(model_cells);
+    initial.set(v_cell, fp.v_state());
+    if (fp.is_two_cell()) initial.set(a_cell, fp.a_state());
+    for (std::size_t i = 0; i < free_cells.size(); ++i) {
+      initial.set(free_cells[i], (bg >> i) & 1u ? Bit::One : Bit::Zero);
+    }
+    afp.initial = initial;
+
+    if (auto op = sensitizing_op(fp, a_cell, v_cell)) afp.sensitize = {*op};
+
+    // Fault-free final state Gv: apply the operation normally.
+    SmallState good = initial;
+    for (const AddressedOp& aop : afp.sensitize) {
+      if (is_write(aop.op)) good.set(aop.cell, written_value(aop.op));
+    }
+    afp.good = good;
+
+    // Faulty final state Fv: operation effect plus the victim forced to F.
+    SmallState faulty = good;
+    faulty.set(v_cell, fp.fault_value());
+    afp.faulty = faulty;
+
+    result.push_back(std::move(afp));
+  }
+  return result;
+}
+
+TestPattern to_test_pattern(const Afp& afp) {
+  TestPattern tp;
+  tp.initial = afp.initial;
+  tp.victim = afp.victim;
+  tp.observe = AddressedOp{afp.victim, make_read(afp.good.get(afp.victim))};
+  tp.ops = afp.sensitize;
+  tp.ops.push_back(tp.observe);
+  tp.end_state = afp.faulty;
+  return tp;
+}
+
+}  // namespace mtg

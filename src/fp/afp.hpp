@@ -1,0 +1,83 @@
+// Addressed Fault Primitives (Definition 4) and Test Patterns (Definition 5).
+//
+// An AFP instantiates a fault primitive on a small k-cell *model* memory with
+// explicit addresses and explicit faulty/fault-free final states:
+//
+//   AFP = (I, Es, Fv, Gv)
+//
+// A Test Pattern adds the observation read that exposes the fault:
+//
+//   TP = (I, E, O)
+//
+// These model-level objects are the labels/edges of the pattern graph
+// (Section 4) and the inputs of the generation algorithm (Section 5).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/op.hpp"
+#include "common/state.hpp"
+#include "fp/fault_primitive.hpp"
+
+namespace mtg {
+
+/// A memory operation bound to a model cell.
+struct AddressedOp {
+  std::size_t cell = 0;
+  Op op = Op::R;
+
+  friend bool operator==(const AddressedOp& a, const AddressedOp& b) {
+    return a.cell == b.cell && a.op == b.op;
+  }
+  friend bool operator!=(const AddressedOp& a, const AddressedOp& b) {
+    return !(a == b);
+  }
+};
+
+/// "w1[0]"-style rendering; reads carry the expected fault-free value.
+std::string to_string(const AddressedOp& aop);
+std::string to_string(const std::vector<AddressedOp>& ops);
+std::ostream& operator<<(std::ostream& os, const AddressedOp& aop);
+
+/// Addressed Fault Primitive (Definition 4).
+struct Afp {
+  SmallState initial;                  ///< I  — state before sensitization
+  std::vector<AddressedOp> sensitize;  ///< Es — empty for state faults
+  SmallState faulty;                   ///< Fv — state after Es on the faulty memory
+  SmallState good;                     ///< Gv — state after Es on a fault-free memory
+  std::size_t victim = 0;              ///< address of the victim cell
+  std::size_t aggressor = 0;           ///< address of the aggressor (== victim for 1-cell)
+
+  std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Afp& afp);
+
+/// Test Pattern (Definition 5): sensitization plus the observation read.
+struct TestPattern {
+  SmallState initial;             ///< I
+  std::vector<AddressedOp> ops;   ///< E followed by the observation read O
+  AddressedOp observe;            ///< O — read of the victim, expecting Gv[victim]
+  SmallState end_state;           ///< faulty-machine state after the pattern
+  std::size_t victim = 0;
+
+  std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const TestPattern& tp);
+
+/// Expands `fp` bound to cells (a_cell, v_cell) of a `model_cells`-cell model
+/// memory into AFPs, one per assignment of the uninvolved cells (Definition 4
+/// instantiates *every* cell of the model, so a k-cell model and a fault
+/// touching m cells yield 2^(k-m) AFPs).
+std::vector<Afp> expand_afps(const FaultPrimitive& fp, std::size_t a_cell,
+                             std::size_t v_cell, std::size_t model_cells);
+
+/// Builds the Test Pattern covering `afp` (Definition 5): its sensitization
+/// followed by a read of the victim expecting the fault-free value.
+TestPattern to_test_pattern(const Afp& afp);
+
+}  // namespace mtg

@@ -1,0 +1,151 @@
+#include "fp/fault_list.hpp"
+
+#include "common/error.hpp"
+#include "fp/fp_library.hpp"
+
+namespace mtg {
+
+SimpleFault SimpleFault::single(FaultPrimitive fp) {
+  require(!fp.is_two_cell(), "SimpleFault::single needs a single-cell FP");
+  std::string name = fp.name() + " [v]";
+  return SimpleFault{std::move(fp), -1, 0, std::move(name)};
+}
+
+SimpleFault SimpleFault::coupled(FaultPrimitive fp, bool aggressor_below) {
+  require(fp.is_two_cell(), "SimpleFault::coupled needs a two-cell FP");
+  std::string name = fp.name() + (aggressor_below ? " [a<v]" : " [v<a]");
+  return SimpleFault{std::move(fp),
+                     static_cast<std::int8_t>(aggressor_below ? 0 : 1),
+                     static_cast<std::uint8_t>(aggressor_below ? 1 : 0),
+                     std::move(name)};
+}
+
+bool is_maskable(const FaultPrimitive& fp) {
+  return !fp.is_immediately_detecting();
+}
+
+bool can_mask(const FaultPrimitive& fp2, const FaultPrimitive& fp1) {
+  return fp2.fault_value() == flip(fp1.fault_value()) &&
+         fp2.v_state() == fp1.fault_value();
+}
+
+namespace {
+
+/// Appends the linked fault when the full chain check passes.
+///
+/// Note the chain check prunes more than the static predicates: e.g. a state
+/// fault never survives as FP2 because it settles within the very operation
+/// that sensitizes FP1, so FP1 produces no lasting deviation to mask, and
+/// same-aggressor pairs drop out when FP1's operation leaves the aggressor in
+/// a state incompatible with FP2's sensitization (I2 = Fv1 over *all* cells).
+void try_add(std::vector<LinkedFault>& out, const FaultPrimitive& fp1,
+             const FaultPrimitive& fp2, const LinkedLayout& layout) {
+  const LinkCheck check = check_link(fp1, fp2, layout);
+  if (check.structurally_linked && check.fp1_fired && check.fp2_fired) {
+    out.emplace_back(fp1, fp2, layout);
+  }
+}
+
+}  // namespace
+
+std::vector<LinkedFault> enumerate_single_cell_linked_faults() {
+  std::vector<LinkedFault> result;
+  const auto fps = all_single_cell_static_fps();
+  for (const FaultPrimitive& fp1 : fps) {
+    if (!is_maskable(fp1)) continue;
+    for (const FaultPrimitive& fp2 : fps) {
+      if (!can_mask(fp2, fp1)) continue;
+      try_add(result, fp1, fp2, LinkedLayout::single_cell());
+    }
+  }
+  return result;
+}
+
+std::vector<LinkedFault> enumerate_two_cell_linked_faults() {
+  std::vector<LinkedFault> result;
+  const auto single = all_single_cell_static_fps();
+  const auto coupled = all_two_cell_static_fps();
+
+  for (const bool aggressor_below : {true, false}) {
+    const std::int8_t a_pos = aggressor_below ? 0 : 1;
+    const std::uint8_t v_pos = aggressor_below ? 1 : 0;
+
+    // (a) CF linked with CF, same aggressor cell.
+    for (const FaultPrimitive& fp1 : coupled) {
+      if (!is_maskable(fp1)) continue;
+      for (const FaultPrimitive& fp2 : coupled) {
+        if (!can_mask(fp2, fp1)) continue;
+        try_add(result, fp1, fp2, LinkedLayout::two_cell(a_pos, a_pos, v_pos));
+      }
+    }
+    // (b) CF linked with a single-cell FP on the victim.
+    for (const FaultPrimitive& fp1 : coupled) {
+      if (!is_maskable(fp1)) continue;
+      for (const FaultPrimitive& fp2 : single) {
+        if (!can_mask(fp2, fp1)) continue;
+        try_add(result, fp1, fp2, LinkedLayout::two_cell(a_pos, -1, v_pos));
+      }
+    }
+    // (c) single-cell FP linked with a CF sharing the victim.
+    for (const FaultPrimitive& fp1 : single) {
+      if (!is_maskable(fp1)) continue;
+      for (const FaultPrimitive& fp2 : coupled) {
+        if (!can_mask(fp2, fp1)) continue;
+        try_add(result, fp1, fp2, LinkedLayout::two_cell(-1, a_pos, v_pos));
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<LinkedFault> enumerate_three_cell_linked_faults() {
+  std::vector<LinkedFault> result;
+  const auto coupled = all_two_cell_static_fps();
+  // All orderings of (a1, a2, v) over three distinct addresses.
+  static constexpr std::uint8_t kOrderings[6][3] = {
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {2, 0, 1}, {1, 2, 0}, {2, 1, 0}};
+  for (const FaultPrimitive& fp1 : coupled) {
+    if (!is_maskable(fp1)) continue;
+    for (const FaultPrimitive& fp2 : coupled) {
+      if (!can_mask(fp2, fp1)) continue;
+      for (const auto& ord : kOrderings) {
+        try_add(result, fp1, fp2,
+                LinkedLayout::three_cell(ord[0], ord[1], ord[2]));
+      }
+    }
+  }
+  return result;
+}
+
+FaultList fault_list_2() {
+  FaultList list;
+  list.name = "Fault List #2 (single-cell static linked faults)";
+  list.linked = enumerate_single_cell_linked_faults();
+  return list;
+}
+
+FaultList fault_list_1() {
+  FaultList list;
+  list.name = "Fault List #1 (single-, two- and three-cell static linked faults)";
+  list.linked = enumerate_single_cell_linked_faults();
+  auto two = enumerate_two_cell_linked_faults();
+  auto three = enumerate_three_cell_linked_faults();
+  list.linked.insert(list.linked.end(), two.begin(), two.end());
+  list.linked.insert(list.linked.end(), three.begin(), three.end());
+  return list;
+}
+
+FaultList standard_simple_static_faults() {
+  FaultList list;
+  list.name = "All simple static faults";
+  for (const FaultPrimitive& fp : all_single_cell_static_fps()) {
+    list.simple.push_back(SimpleFault::single(fp));
+  }
+  for (const FaultPrimitive& fp : all_two_cell_static_fps()) {
+    list.simple.push_back(SimpleFault::coupled(fp, true));
+    list.simple.push_back(SimpleFault::coupled(fp, false));
+  }
+  return list;
+}
+
+}  // namespace mtg

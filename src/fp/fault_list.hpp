@@ -1,0 +1,80 @@
+// Fault lists: the target sets of the generation algorithm.
+//
+// The paper evaluates two lists of *realistic static linked faults* taken
+// from Hamdioui et al. [10]:
+//
+//   * Fault List #1 — single-, two- and three-cell static linked faults;
+//   * Fault List #2 — the single-cell static linked faults only.
+//
+// We rebuild these constructively (the original tables are not in the
+// reproduced paper): starting from the complete static FP space we keep every
+// ordered pair (FP1, FP2) that satisfies the linking conditions of
+// Definitions 6/7 — F2 = not(F1), FP2 sensitized in the state Fv1 the faulty
+// memory reaches after FP1 (I2 = Fv1), FP1 maskable — over every address
+// layout.  This matches the paper's claim of targeting "the complete set of
+// Static Linked Faults".  See DESIGN.md, "Substitutions", for calibration
+// against the published March SL / March ABL tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fp/fault_primitive.hpp"
+#include "fp/linked_fault.hpp"
+
+namespace mtg {
+
+/// A simple (un-linked) fault: one FP plus its address layout.
+struct SimpleFault {
+  FaultPrimitive fp;
+  std::int8_t a_pos = -1;  ///< aggressor position (-1 for single-cell FPs)
+  std::uint8_t v_pos = 0;  ///< victim position
+  std::string name;
+
+  int num_cells() const noexcept { return fp.num_cells(); }
+
+  static SimpleFault single(FaultPrimitive fp);
+  /// Two-cell simple fault; `aggressor_below` selects the a<v layout.
+  static SimpleFault coupled(FaultPrimitive fp, bool aggressor_below);
+};
+
+/// A named list of target faults (simple and/or linked).
+struct FaultList {
+  std::string name;
+  std::vector<SimpleFault> simple;
+  std::vector<LinkedFault> linked;
+
+  std::size_t size() const noexcept { return simple.size() + linked.size(); }
+};
+
+/// FP1 candidates: FPs whose sensitization does not expose them on the spot.
+bool is_maskable(const FaultPrimitive& fp);
+
+/// FP2 candidates for a given FP1: v_state == F1 and F == not(F1).
+bool can_mask(const FaultPrimitive& fp2, const FaultPrimitive& fp1);
+
+/// All single-cell static linked faults (both FPs on the victim cell).
+std::vector<LinkedFault> enumerate_single_cell_linked_faults();
+
+/// All two-cell static linked faults: same-aggressor CF pairs, CF linked
+/// with a single-cell FP, and single-cell FP linked with a CF; each in both
+/// the a<v and v<a layouts.
+std::vector<LinkedFault> enumerate_two_cell_linked_faults();
+
+/// All three-cell static linked faults: CF pairs with distinct aggressors,
+/// in all six address orderings of (a1, a2, v).
+std::vector<LinkedFault> enumerate_three_cell_linked_faults();
+
+/// Fault List #2 of the paper: single-cell static linked faults.
+FaultList fault_list_2();
+
+/// Fault List #1 of the paper: single-, two- and three-cell static LFs.
+FaultList fault_list_1();
+
+/// All simple (un-linked) static faults: the 12 single-cell FPs plus the 36
+/// two-cell FPs in both layouts — the target of March SS; provided for the
+/// library's broader use and for baseline experiments.
+FaultList standard_simple_static_faults();
+
+}  // namespace mtg

@@ -1,0 +1,170 @@
+// Fault primitives — Definition 3 of the paper, following the notation of
+// van de Goor & Al-Ars [12].
+//
+// A static fault primitive <S ; F / R> describes one deviation of the memory
+// behaviour, sensitized by at most one memory operation:
+//
+//   * S  — the sensitizing states/operation.  For a single-cell FP, S is a
+//     condition/operation on the victim itself (e.g. "0w1").  For a two-cell
+//     FP, S = Sa;Sv where Sa is the aggressor part and Sv the victim part
+//     (e.g. "<0w1;0>" = aggressor performs w1 from state 0 while the victim
+//     holds 0).  Exactly one of Sa/Sv may carry the operation; a FP with no
+//     operation at all is a *state fault* (sensitized by the states alone).
+//   * F  — the value of the victim after sensitization.
+//   * R  — for FPs whose sensitizing operation is a read of the victim, the
+//     value returned by that read; '-' otherwise.
+//
+// The static single-cell taxonomy: SF (state), TF (transition), WDF (write
+// destructive), RDF (read destructive), DRDF (deceptive read destructive),
+// IRF (incorrect read).  The two-cell (coupling) taxonomy: CFst (state),
+// CFds (disturb), CFtr (transition), CFwd (write destructive), CFrd (read
+// destructive), CFdr (deceptive read destructive), CFir (incorrect read).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <tuple>
+
+#include "common/bit.hpp"
+
+namespace mtg {
+
+/// A sensitizing operation attached to one cell of a fault primitive.
+/// `Rd` is a read of the cell's current (pre-fault) value.
+enum class SenseOp : std::uint8_t { None, W0, W1, Rd };
+
+std::string to_string(SenseOp op);
+
+/// The taxonomy class of a static fault primitive.
+enum class FpClass : std::uint8_t {
+  SF,    ///< state fault                       <s ; s̄ / ->
+  TF,    ///< transition fault                  <s w s̄ ; s / ->
+  WDF,   ///< write destructive fault           <s w s ; s̄ / ->
+  RDF,   ///< read destructive fault            <s r s ; s̄ / s̄>
+  DRDF,  ///< deceptive read destructive fault  <s r s ; s̄ / s>
+  IRF,   ///< incorrect read fault              <s r s ; s / s̄>
+  CFst,  ///< state coupling fault              <a ; v / v̄ / ->
+  CFds,  ///< disturb coupling fault            <a op ; v / v̄ / ->
+  CFtr,  ///< transition coupling fault         <a ; v w v̄ / v / ->
+  CFwd,  ///< write destructive coupling fault  <a ; v w v / v̄ / ->
+  CFrd,  ///< read destructive coupling fault   <a ; v r v / v̄ / v̄>
+  CFdr,  ///< deceptive read destructive CF     <a ; v r v / v̄ / v>
+  CFir,  ///< incorrect read coupling fault     <a ; v r v / v / v̄>
+};
+
+std::string to_string(FpClass c);
+
+/// A static fault primitive (at most one sensitizing operation).
+///
+/// Construction is validated: exactly 1 or 2 cells, at most one operation,
+/// read results only on victim reads, and the FP must describe an actual
+/// deviation from the fault-free behaviour.
+class FaultPrimitive {
+ public:
+  /// Single-cell FP: the sensitizing condition/operation applies to the
+  /// victim itself.  `read_result` must be Tri::X unless `op == SenseOp::Rd`.
+  static FaultPrimitive single(Bit v_state, SenseOp op, Bit fault_value,
+                               Tri read_result = Tri::X);
+
+  /// Two-cell FP.  At most one of `a_op` / `v_op` may be a real operation.
+  static FaultPrimitive coupled(Bit a_state, SenseOp a_op, Bit v_state,
+                                SenseOp v_op, Bit fault_value,
+                                Tri read_result = Tri::X);
+
+  // -- Named constructors for the standard taxonomy --------------------
+  static FaultPrimitive sf(Bit state);         ///< <state ; !state / ->
+  static FaultPrimitive tf(Bit from);          ///< <from w !from ; from / ->
+  static FaultPrimitive wdf(Bit state);        ///< <state w state ; !state / ->
+  static FaultPrimitive rdf(Bit state);        ///< <state r state ; !state / !state>
+  static FaultPrimitive drdf(Bit state);       ///< <state r state ; !state / state>
+  static FaultPrimitive irf(Bit state);        ///< <state r state ; state / !state>
+  static FaultPrimitive cfst(Bit a, Bit v);    ///< <a ; v / !v / ->
+  static FaultPrimitive cfds(Bit a_state, SenseOp a_op, Bit v);  ///< <a op ; v / !v / ->
+  static FaultPrimitive cftr(Bit a, Bit from); ///< <a ; from w !from / from / ->
+  static FaultPrimitive cfwd(Bit a, Bit v);    ///< <a ; v w v / !v / ->
+  static FaultPrimitive cfrd(Bit a, Bit v);    ///< <a ; v r v / !v / !v>
+  static FaultPrimitive cfdr(Bit a, Bit v);    ///< <a ; v r v / !v / v>
+  static FaultPrimitive cfir(Bit a, Bit v);    ///< <a ; v r v / v / !v>
+
+  // -- Structure queries ------------------------------------------------
+  int num_cells() const noexcept { return num_cells_; }
+  bool is_two_cell() const noexcept { return num_cells_ == 2; }
+
+  Bit a_state() const;  ///< aggressor initial state (two-cell only)
+  Bit v_state() const noexcept { return v_state_; }
+  SenseOp a_op() const noexcept { return a_op_; }
+  SenseOp v_op() const noexcept { return v_op_; }
+  Bit fault_value() const noexcept { return fault_value_; }
+  Tri read_result() const noexcept { return read_result_; }
+
+  /// True when no operation is involved (SF / CFst): the FP is sensitized by
+  /// the memory *state* alone (level/edge semantics, see fp/semantics.hpp).
+  bool is_state_fault() const noexcept {
+    return a_op_ == SenseOp::None && v_op_ == SenseOp::None;
+  }
+
+  /// True when the sensitizing operation acts on the victim cell.
+  bool op_on_victim() const noexcept { return v_op_ != SenseOp::None; }
+  /// True when the sensitizing operation acts on the aggressor cell.
+  bool op_on_aggressor() const noexcept { return a_op_ != SenseOp::None; }
+
+  /// The sensitizing operation (None for state faults).
+  SenseOp sense_op() const noexcept {
+    return op_on_victim() ? v_op_ : a_op_;
+  }
+
+  /// Value of the victim on the *fault-free* machine after the sensitizing
+  /// operation: the written value when the op is a write on the victim, the
+  /// initial victim state otherwise.
+  Bit good_final_victim_value() const;
+
+  /// True when sensitizing the FP immediately reveals it: the sensitizing
+  /// operation is a read of the victim whose result R differs from the
+  /// victim's fault-free value (RDF, IRF, CFrd, CFir).  Such FPs cannot be
+  /// hidden by a masking partner *when sensitized on a good-state victim*.
+  bool is_immediately_detecting() const;
+
+  /// Taxonomy classification.  Every valid static FP belongs to exactly one
+  /// class.
+  FpClass classify() const;
+
+  /// Short mnemonic, e.g. "TF↑", "WDF0", "CFds<0w1;1>".
+  std::string name() const;
+
+  /// Full notation, e.g. "<0w1/0/->" (single-cell), "<0w1;0/1/->" (two-cell).
+  std::string notation() const;
+
+  friend bool operator==(const FaultPrimitive& x, const FaultPrimitive& y) {
+    return x.num_cells_ == y.num_cells_ && x.a_state_ == y.a_state_ &&
+           x.a_op_ == y.a_op_ && x.v_state_ == y.v_state_ &&
+           x.v_op_ == y.v_op_ && x.fault_value_ == y.fault_value_ &&
+           x.read_result_ == y.read_result_;
+  }
+  friend bool operator!=(const FaultPrimitive& x, const FaultPrimitive& y) {
+    return !(x == y);
+  }
+  friend bool operator<(const FaultPrimitive& x, const FaultPrimitive& y) {
+    auto key = [](const FaultPrimitive& f) {
+      return std::tuple(f.num_cells_, f.a_state_, f.a_op_, f.v_state_, f.v_op_,
+                        f.fault_value_, f.read_result_);
+    };
+    return key(x) < key(y);
+  }
+
+ private:
+  FaultPrimitive(int num_cells, Bit a_state, SenseOp a_op, Bit v_state,
+                 SenseOp v_op, Bit fault_value, Tri read_result);
+
+  std::uint8_t num_cells_;
+  Bit a_state_;
+  SenseOp a_op_;
+  Bit v_state_;
+  SenseOp v_op_;
+  Bit fault_value_;
+  Tri read_result_;
+};
+
+std::ostream& operator<<(std::ostream& os, const FaultPrimitive& fp);
+
+}  // namespace mtg

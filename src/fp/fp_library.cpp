@@ -1,0 +1,53 @@
+#include "fp/fp_library.hpp"
+
+namespace mtg {
+
+std::vector<FaultPrimitive> all_single_cell_static_fps() {
+  std::vector<FaultPrimitive> fps;
+  for (Bit s : {Bit::Zero, Bit::One}) {
+    fps.push_back(FaultPrimitive::sf(s));
+    fps.push_back(FaultPrimitive::tf(s));
+    fps.push_back(FaultPrimitive::wdf(s));
+    fps.push_back(FaultPrimitive::rdf(s));
+    fps.push_back(FaultPrimitive::drdf(s));
+    fps.push_back(FaultPrimitive::irf(s));
+  }
+  return fps;
+}
+
+std::vector<std::pair<Bit, SenseOp>> cfds_aggressor_sensitizers() {
+  return {{Bit::Zero, SenseOp::W0}, {Bit::Zero, SenseOp::W1},
+          {Bit::One, SenseOp::W0},  {Bit::One, SenseOp::W1},
+          {Bit::Zero, SenseOp::Rd}, {Bit::One, SenseOp::Rd}};
+}
+
+std::vector<FaultPrimitive> all_two_cell_static_fps() {
+  std::vector<FaultPrimitive> fps;
+  for (Bit a : {Bit::Zero, Bit::One}) {
+    for (Bit v : {Bit::Zero, Bit::One}) {
+      fps.push_back(FaultPrimitive::cfst(a, v));
+      fps.push_back(FaultPrimitive::cfwd(a, v));
+      fps.push_back(FaultPrimitive::cfrd(a, v));
+      fps.push_back(FaultPrimitive::cfdr(a, v));
+      fps.push_back(FaultPrimitive::cfir(a, v));
+    }
+    for (Bit from : {Bit::Zero, Bit::One}) {
+      fps.push_back(FaultPrimitive::cftr(a, from));
+    }
+  }
+  for (const auto& [a_state, a_op] : cfds_aggressor_sensitizers()) {
+    for (Bit v : {Bit::Zero, Bit::One}) {
+      fps.push_back(FaultPrimitive::cfds(a_state, a_op, v));
+    }
+  }
+  return fps;
+}
+
+std::vector<FaultPrimitive> all_static_fps() {
+  std::vector<FaultPrimitive> fps = all_single_cell_static_fps();
+  std::vector<FaultPrimitive> two = all_two_cell_static_fps();
+  fps.insert(fps.end(), two.begin(), two.end());
+  return fps;
+}
+
+}  // namespace mtg

@@ -1,0 +1,32 @@
+// The complete space of static fault primitives.
+//
+// Single-cell static FPs (12):
+//   SF0 SF1, TF↑ TF↓, WDF0 WDF1, RDF0 RDF1, DRDF0 DRDF1, IRF0 IRF1.
+// Two-cell static FPs (36):
+//   CFst (4), CFds (6 aggressor sensitizers × 2 victim states = 12),
+//   CFtr (4), CFwd (4), CFrd (4), CFdr (4), CFir (4).
+//
+// These counts match the standard static FP space of van de Goor & Al-Ars
+// [12] (their "#FP = 12 single-cell, 36 two-cell" enumeration).
+#pragma once
+
+#include <vector>
+
+#include "fp/fault_primitive.hpp"
+
+namespace mtg {
+
+/// All 12 single-cell static fault primitives.
+std::vector<FaultPrimitive> all_single_cell_static_fps();
+
+/// All 36 two-cell static fault primitives.
+std::vector<FaultPrimitive> all_two_cell_static_fps();
+
+/// The union of the two sets above (48 FPs).
+std::vector<FaultPrimitive> all_static_fps();
+
+/// The six aggressor sensitizers used by disturb coupling faults:
+/// 0w0, 0w1, 1w0, 1w1, 0r0, 1r1 as (state, op) pairs.
+std::vector<std::pair<Bit, SenseOp>> cfds_aggressor_sensitizers();
+
+}  // namespace mtg

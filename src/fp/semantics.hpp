@@ -1,0 +1,122 @@
+// Operational semantics of fault primitives: the faulty-memory machine.
+//
+// A FaultyMemory is an n-cell memory with a set of *bound* fault primitives
+// (FPs instantiated at concrete addresses).  It executes read/write/wait
+// operations with the behavioural deviations the FPs describe.  Both the
+// fault simulator (sim/) and the linked-fault checker (fp/linked_fault)
+// are built on this single engine, so masking between linked FPs emerges
+// from the semantics instead of being special-cased.
+//
+// Semantics:
+//  * Operation-sensitized FPs fire when the operation kind, target address
+//    and the *pre-operation* states of their cells match the sensitizer.
+//    The sensitization is evaluated on the faulty machine (this is what
+//    makes Definition 7's I2 = Fv1 chaining work).  A fired FP forces the
+//    victim to its fault value F after the operation's normal effect; if the
+//    sensitizing operation is a read of the victim, the returned value is R.
+//  * State faults (SF / CFst) are edge-triggered: a state fault fires when
+//    its state condition *becomes* true; after firing it re-arms only once
+//    the condition has been false again.  Each fault instance fires at most
+//    once per memory operation (a static fault is sensitized by at most one
+//    operation by definition), which keeps mutually-opposing state faults
+//    from oscillating forever.
+//  * power_on(state) models test start: the memory content is forced and
+//    state faults settle once.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/state.hpp"
+#include "fp/fault_primitive.hpp"
+
+namespace mtg {
+
+/// A fault primitive bound to concrete cell addresses.
+struct BoundFp {
+  FaultPrimitive fp;
+  std::size_t a_cell = 0;  ///< aggressor address; equals v_cell for 1-cell FPs
+  std::size_t v_cell = 0;  ///< victim address
+
+  BoundFp(FaultPrimitive f, std::size_t a, std::size_t v);
+
+  /// Single-cell convenience binder.
+  static BoundFp at(FaultPrimitive f, std::size_t cell) {
+    return BoundFp(std::move(f), cell, cell);
+  }
+
+  std::string to_string() const;
+};
+
+class FaultyMemory {
+ public:
+  /// Fault-free memory of `num_cells` cells.
+  explicit FaultyMemory(std::size_t num_cells)
+      : FaultyMemory(num_cells, {}) {}
+
+  FaultyMemory(std::size_t num_cells, std::vector<BoundFp> faults);
+
+  std::size_t num_cells() const noexcept { return state_.size(); }
+  const std::vector<BoundFp>& faults() const noexcept { return faults_; }
+
+  /// Forces the memory content (power-on / test start), re-arms every state
+  /// fault and lets state faults settle once on the initial content.
+  void power_on(const MemoryState& initial);
+
+  /// Convenience: power on with every cell holding `value`.
+  void power_on_uniform(Bit value);
+
+  /// Performs a write; fault effects applied per the class comment.
+  void write(std::size_t address, Bit value);
+
+  /// Performs a read and returns the (possibly faulty) value.
+  Bit read(std::size_t address);
+
+  /// Performs the wait operation `t` (no content change; state faults may
+  /// settle — relevant only for future data-retention extensions).
+  void wait();
+
+  const MemoryState& state() const noexcept { return state_; }
+
+  /// Number of times fault #i fired since the last power_on.
+  std::size_t fire_count(std::size_t fault_index) const;
+
+  // -- Compact snapshots (hot path of the generation engine) -----------
+  // Valid for memories of at most 64 cells and 32 bound faults; fire
+  // counters are not part of the snapshot.
+
+  /// Cell contents packed into bits 0..n-1.
+  std::uint64_t packed_state() const;
+  void set_packed_state(std::uint64_t bits);
+  /// State-fault armed flags packed into bits 0..#faults-1.
+  std::uint32_t packed_armed() const;
+  void set_packed_armed(std::uint32_t bits);
+
+  /// Total number of FP firings since the last power_on.
+  std::size_t total_fires() const noexcept { return total_fires_; }
+
+ private:
+  enum class OpTarget { Write, Read, Wait };
+
+  /// Evaluates operation-sensitized FPs against the pre-op state, applies the
+  /// default operation effect, fault overrides and state-fault settling.
+  /// Returns the value delivered by a read.  Allocation-free (hot path of
+  /// the generation engine).
+  Bit apply(OpTarget target, std::size_t address, Bit written);
+
+  /// Must be called on the pre-operation state (before mutation).
+  bool op_matches(const BoundFp& bound, OpTarget target, std::size_t address,
+                  Bit written) const;
+  bool state_condition_holds(const BoundFp& bound) const;
+  void settle_state_faults(std::uint32_t& fired_this_op);
+  void rearm_state_faults();
+
+  MemoryState state_;
+  std::vector<BoundFp> faults_;
+  std::vector<bool> armed_;             // state faults only (true = may fire)
+  std::vector<std::size_t> fire_counts_;
+  std::size_t total_fires_ = 0;
+};
+
+}  // namespace mtg

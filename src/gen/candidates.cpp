@@ -1,0 +1,44 @@
+#include "gen/candidates.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mtg {
+namespace {
+
+void dfs(std::vector<Op>& seq, Bit value, std::size_t max_len,
+         std::set<std::vector<Op>>& out) {
+  if (!seq.empty()) out.insert(seq);
+  if (seq.size() >= max_len) return;
+
+  const auto run_of_two = [&](Op op) {
+    const std::size_t len = seq.size();
+    return len >= 2 && seq[len - 1] == op && seq[len - 2] == op;
+  };
+
+  for (Op op : {make_read(value), Op::W0, Op::W1}) {
+    if (run_of_two(op)) continue;  // three identical ops in a row are useless
+    seq.push_back(op);
+    dfs(seq, is_write(op) ? written_value(op) : value, max_len, out);
+    seq.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<MarchElement> enumerate_march_elements(std::size_t max_len) {
+  std::set<std::vector<Op>> sequences;
+  for (Bit entry : {Bit::Zero, Bit::One}) {
+    std::vector<Op> seq;
+    dfs(seq, entry, max_len, sequences);
+  }
+  std::vector<MarchElement> pool;
+  pool.reserve(sequences.size() * 2);
+  for (const auto& seq : sequences) {
+    pool.emplace_back(AddressOrder::Up, seq);
+    pool.emplace_back(AddressOrder::Down, seq);
+  }
+  return pool;
+}
+
+}  // namespace mtg

@@ -1,0 +1,27 @@
+// Candidate march elements: the space of valid Sequences of Operations.
+//
+// Definition 11 of the paper: a Sequence of Operations is *valid* when all
+// its operations are performed on the same memory cell — which is exactly
+// what a march element applies to each cell in turn.  The generator searches
+// over this space; we enumerate every operation sequence up to a length
+// bound, with reads annotated with the value the fault-free cell holds at
+// that point (tracked from the element's entry value), in both the ⇑ and ⇓
+// address orders.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "march/march_element.hpp"
+
+namespace mtg {
+
+/// Enumerates every valid operation sequence of length 1..max_len over
+/// {read-current, w0, w1} for both entry values, pruned of runs of three
+/// identical operations (a static fault is sensitized by one operation and
+/// observed by one read; a third identical operation in a row adds nothing),
+/// deduplicated, in both address orders.  max_len = 7 yields the element
+/// shapes used by the published linked-fault tests (March SL, March ABL).
+std::vector<MarchElement> enumerate_march_elements(std::size_t max_len);
+
+}  // namespace mtg

@@ -1,0 +1,413 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "common/error.hpp"
+#include "gen/candidates.hpp"
+#include "gen/minimizer.hpp"
+#include "sim/fault_instance.hpp"
+
+namespace mtg {
+namespace {
+
+/// Greedy coverage engine: keeps, for every fault instance, the state of
+/// every (power-on value, ⇕-order assignment) scenario at the end of the
+/// current test prefix, so candidate march elements are evaluated
+/// incrementally (no prefix re-simulation).
+class GreedyEngine {
+ public:
+  GreedyEngine(std::size_t memory_size, std::vector<FaultInstance> instances,
+               const MarchTest& prefix)
+      : n_(memory_size), instances_(std::move(instances)) {
+    const std::size_t any_count = FaultSimulator::any_order_count(prefix);
+    require(any_count <= 10, "too many ⇕ elements in the generation prefix");
+    const std::size_t combos = std::size_t{1} << any_count;
+
+    items_.reserve(instances_.size());
+    for (const FaultInstance& inst : instances_) {
+      Item item;
+      item.instance = &inst;
+      item.memory = std::make_unique<FaultyMemory>(n_, inst.fps);
+      for (Bit power_on : {Bit::Zero, Bit::One}) {
+        for (std::size_t mask = 0; mask < combos; ++mask) {
+          Scenario s;
+          item.memory->power_on_uniform(power_on);
+          s.faulty_bits = item.memory->packed_state();
+          s.armed = item.memory->packed_armed();
+          s.good_bits = power_on == Bit::One ? all_ones() : 0;
+          s.detected = false;
+          std::size_t any_index = 0;
+          for (const MarchElement& element : prefix.elements()) {
+            AddressOrder order = element.order();
+            if (order == AddressOrder::Any) {
+              order = (mask >> any_index) & 1u ? AddressOrder::Down
+                                               : AddressOrder::Up;
+              ++any_index;
+            }
+            if (run_element(item, s, element, order, /*commit=*/true)) break;
+          }
+          item.scenarios.push_back(s);
+        }
+      }
+      item.done = all_detected(item);
+      items_.push_back(std::move(item));
+    }
+  }
+
+  std::size_t undetected_instances() const {
+    std::size_t count = 0;
+    for (const Item& item : items_) count += item.done ? 0 : 1;
+    return count;
+  }
+
+  /// Fault-list indices of the instances still undetected.
+  std::set<std::size_t> undetected_fault_indices() const {
+    std::set<std::size_t> out;
+    for (const Item& item : items_) {
+      if (!item.done) out.insert(item.instance->fault_index);
+    }
+    return out;
+  }
+
+  /// Marks every instance of the given faults as out of scope (uncoverable).
+  void exclude_faults(const std::set<std::size_t>& fault_indices) {
+    for (Item& item : items_) {
+      if (fault_indices.count(item.instance->fault_index) > 0) item.done = true;
+    }
+  }
+
+  /// Number of undetected (instance, scenario) pairs.
+  std::size_t undetected_scenarios() const {
+    std::size_t count = 0;
+    for (const Item& item : items_) {
+      if (item.done) continue;
+      for (const Scenario& s : item.scenarios) count += s.detected ? 0 : 1;
+    }
+    return count;
+  }
+
+  /// Gain of appending the candidate: the number of (instance, scenario)
+  /// pairs it newly detects.  Scenario granularity matters: an element can
+  /// make progress on one power-on polarity only (the complementary
+  /// polarity being handled by a later element), which instance-level
+  /// counting would miss and stall on.
+  ///
+  /// `abort_below(g, remaining)` lets the caller prune hopeless candidates:
+  /// it receives the gain so far and the number of unscanned scenarios and
+  /// returns true to abandon the evaluation (result is then a lower bound).
+  template <typename AbortFn>
+  std::size_t gain(const MarchElement& candidate, AbortFn abort_below) {
+    std::size_t g = 0;
+    std::size_t remaining = undetected_scenarios();
+    for (Item& item : items_) {
+      if (item.done) continue;
+      for (Scenario& s : item.scenarios) {
+        if (s.detected) continue;
+        --remaining;
+        Scenario trial = s;  // plain-data copy
+        if (run_element(item, trial, candidate, candidate.order(),
+                        /*commit=*/false)) {
+          ++g;
+        } else if (abort_below(g, remaining)) {
+          return g;
+        }
+      }
+    }
+    return g;
+  }
+
+  /// Appends the candidate to the tracked prefix state.
+  void commit(const MarchElement& candidate) {
+    for (Item& item : items_) {
+      if (item.done) continue;
+      for (Scenario& s : item.scenarios) {
+        if (s.detected) continue;
+        run_element(item, s, candidate, candidate.order(), /*commit=*/true);
+      }
+      item.done = all_detected(item);
+    }
+  }
+
+ private:
+  struct Scenario {
+    std::uint64_t faulty_bits = 0;
+    std::uint64_t good_bits = 0;
+    std::uint32_t armed = 0;
+    bool detected = false;
+  };
+  struct Item {
+    const FaultInstance* instance = nullptr;
+    std::unique_ptr<FaultyMemory> memory;  // scratch machine for this fault set
+    std::vector<Scenario> scenarios;
+    bool done = false;
+  };
+
+  std::uint64_t all_ones() const {
+    return n_ >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n_) - 1);
+  }
+
+  static bool all_detected(const Item& item) {
+    for (const Scenario& s : item.scenarios) {
+      if (!s.detected) return false;
+    }
+    return true;
+  }
+
+  /// Runs one march element from the scenario state.  Returns true on
+  /// detection.  With commit=true the scenario is updated (state advance or
+  /// detected flag); with commit=false the scenario is left untouched
+  /// (caller passes a copy).
+  bool run_element(Item& item, Scenario& s, const MarchElement& element,
+                   AddressOrder order, bool commit) {
+    FaultyMemory& memory = *item.memory;
+    memory.set_packed_state(s.faulty_bits);
+    memory.set_packed_armed(s.armed);
+    std::uint64_t good = s.good_bits;
+    bool detected = false;
+
+    for (std::size_t step = 0; step < n_ && !detected; ++step) {
+      const std::size_t address =
+          order == AddressOrder::Down ? n_ - 1 - step : step;
+      for (const Op op : element.ops()) {
+        if (is_write(op)) {
+          const Bit value = written_value(op);
+          if (value == Bit::One) {
+            good |= std::uint64_t{1} << address;
+          } else {
+            good &= ~(std::uint64_t{1} << address);
+          }
+          memory.write(address, value);
+        } else if (is_read(op)) {
+          const Bit expected =
+              (good >> address) & 1u ? Bit::One : Bit::Zero;
+          if (memory.read(address) != expected) {
+            detected = true;
+            break;
+          }
+        } else {
+          memory.wait();
+        }
+      }
+    }
+
+    if (commit) {
+      if (detected) {
+        s.detected = true;
+      } else {
+        s.faulty_bits = memory.packed_state();
+        s.armed = memory.packed_armed();
+        s.good_bits = good;
+      }
+    }
+    return detected;
+  }
+
+  std::size_t n_;
+  std::vector<FaultInstance> instances_;
+  std::vector<Item> items_;
+};
+
+/// The greedy loop of Figure 5: append the best-scoring valid SO until the
+/// engine's fault set is covered or no candidate helps.  Returns the fault
+/// indices reported uncoverable (step d.i).
+std::set<std::size_t> greedy_cover(GreedyEngine& engine,
+                                   const std::vector<MarchElement>& pool,
+                                   MarchTest& test,
+                                   const GeneratorOptions& options,
+                                   GenerationStats& stats) {
+  auto final_value = [&]() -> std::optional<Bit> {
+    std::optional<Bit> value;
+    for (const MarchElement& e : test.elements()) {
+      if (auto v = e.final_value()) value = v;
+    }
+    return value;
+  };
+
+  std::optional<Bit> current_final = final_value();
+  std::set<std::size_t> uncoverable;
+  std::size_t stalls_in_a_row = 0;
+
+  while (engine.undetected_instances() > 0 &&
+         stats.greedy_rounds < options.max_rounds) {
+    const MarchElement* best = nullptr;
+    std::size_t best_gain = 0;
+    double best_score = 0.0;
+
+    for (const MarchElement& candidate : pool) {
+      if (auto entry = candidate.required_entry_value()) {
+        if (!current_final.has_value() || *entry != *current_final) continue;
+      }
+      // Prune: abandon a candidate once even detecting every remaining
+      // scenario cannot beat the best score seen so far.
+      const double cost = static_cast<double>(candidate.cost());
+      const std::size_t g = engine.gain(
+          candidate, [&](std::size_t so_far, std::size_t remaining) {
+            return static_cast<double>(so_far + remaining) / cost <= best_score;
+          });
+      if (g == 0) continue;
+      const double score = static_cast<double>(g) / cost;
+      const bool better =
+          best == nullptr || score > best_score ||
+          (score == best_score &&
+           (g > best_gain ||
+            (g == best_gain && candidate.cost() < best->cost())));
+      if (better) {
+        best = &candidate;
+        best_gain = g;
+        best_score = score;
+      }
+    }
+
+    if (best == nullptr) {
+      // No candidate helps from the current memory polarity.  Some faults
+      // are only sensitizable from the complementary uniform value (e.g. a
+      // non-transition w0 needs an all-0 memory), so bridge once by
+      // flipping the polarity with a plain write element; report the faults
+      // uncoverable (step d.i of Figure 5) only when bridging stalls too.
+      if (stalls_in_a_row < 2 && current_final.has_value()) {
+        const MarchElement bridge(AddressOrder::Up,
+                                  {make_write(flip(*current_final))});
+        test.append(bridge);
+        engine.commit(bridge);
+        current_final = flip(*current_final);
+        ++stalls_in_a_row;
+        ++stats.greedy_rounds;
+        stats.log.push_back("stalled; bridging polarity with " +
+                            bridge.to_string());
+        continue;
+      }
+      uncoverable = engine.undetected_fault_indices();
+      engine.exclude_faults(uncoverable);
+      stats.log.push_back("stalled twice; reporting " +
+                          std::to_string(uncoverable.size()) +
+                          " faults uncoverable");
+      break;
+    }
+
+    stalls_in_a_row = 0;
+    test.append(*best);
+    engine.commit(*best);
+    if (auto v = best->final_value()) current_final = v;
+    ++stats.greedy_rounds;
+    stats.log.push_back("appended " + best->to_string() + " (gain " +
+                        std::to_string(best_gain) + ", " +
+                        std::to_string(engine.undetected_instances()) +
+                        " instances left)");
+  }
+  return uncoverable;
+}
+
+}  // namespace
+
+GenerationResult generate_march_test(const FaultList& list,
+                                     const GeneratorOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  GenerationResult result;
+  GenerationStats& stats = result.stats;
+  const auto lap = [&](const char* phase) {
+    stats.log.push_back(
+        std::string(phase) + " done at t=" +
+        std::to_string(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count()) +
+        " s");
+  };
+
+  const std::vector<MarchElement> pool =
+      enumerate_march_elements(options.max_element_length);
+  stats.candidate_pool = pool.size();
+
+  // Seed: the canonical initialization element ⇕(w0).
+  MarchTest test("generated", {MarchElement(AddressOrder::Any, {Op::W0})});
+
+  // -- Phase A: greedy cover on the working memory ----------------------
+  std::vector<FaultInstance> working =
+      instantiate_all(list, options.working_memory_size);
+  stats.working_instances = working.size();
+  std::set<std::size_t> uncoverable;
+  {
+    GreedyEngine engine(options.working_memory_size, working, test);
+    stats.log.push_back("phase A: " + std::to_string(working.size()) +
+                        " instances at n=" +
+                        std::to_string(options.working_memory_size));
+    auto stalled = greedy_cover(engine, pool, test, options, stats);
+    uncoverable.insert(stalled.begin(), stalled.end());
+  }
+  lap("phase A (greedy)");
+
+  // -- Phase B: certification loop (CEGIS) ------------------------------
+  const FaultSimulator cert_sim(
+      SimulatorOptions{options.certify_memory_size, true, 10});
+  const std::vector<FaultInstance> cert_instances =
+      instantiate_all(list, options.certify_memory_size);
+  stats.certify_instances = cert_instances.size();
+
+  auto certify_and_extend = [&]() {
+    for (std::size_t iter = 0; iter < options.max_certify_iterations; ++iter) {
+      std::vector<FaultInstance> missed;
+      for (const FaultInstance& instance : cert_instances) {
+        if (uncoverable.count(instance.fault_index) > 0) continue;
+        if (!cert_sim.detects(test, instance)) missed.push_back(instance);
+      }
+      if (missed.empty()) return;
+      ++stats.certify_iterations;
+      stats.log.push_back("certification found " +
+                          std::to_string(missed.size()) +
+                          " escaped instances at n=" +
+                          std::to_string(options.certify_memory_size));
+      GreedyEngine engine(options.certify_memory_size, std::move(missed), test);
+      auto stalled = greedy_cover(engine, pool, test, options, stats);
+      uncoverable.insert(stalled.begin(), stalled.end());
+    }
+  };
+  certify_and_extend();
+  lap("phase B (certification)");
+
+  // -- Phase C: redundancy elimination ----------------------------------
+  stats.complexity_before_minimize = test.complexity();
+  if (options.minimize) {
+    const FaultSimulator min_sim(
+        SimulatorOptions{options.minimize_memory_size, true, 10});
+    std::vector<FaultInstance> min_instances;
+    for (FaultInstance& instance :
+         instantiate_all(list, options.minimize_memory_size)) {
+      if (uncoverable.count(instance.fault_index) == 0) {
+        min_instances.push_back(std::move(instance));
+      }
+    }
+    // Rejected removals dominate the minimizer's cost and bail out at the
+    // first surviving instance; scan the binding constraints (the largest,
+    // last-enumerated faults) first.
+    std::stable_sort(min_instances.begin(), min_instances.end(),
+                     [](const FaultInstance& x, const FaultInstance& y) {
+                       return x.fault_index > y.fault_index;
+                     });
+    test = minimize_test(min_sim, test, min_instances, &stats.log);
+    lap("phase C (minimizer)");
+    certify_and_extend();  // a removal may only matter at certify size
+    lap("phase B2 (re-certification)");
+  }
+
+  // -- Final report ------------------------------------------------------
+  result.certification = evaluate_coverage(cert_sim, test, list);
+  result.full_coverage = true;
+  for (const CoverageEntry& entry : result.certification.entries) {
+    if (uncoverable.count(entry.fault_index) > 0) continue;
+    if (!entry.covered) result.full_coverage = false;
+  }
+  for (std::size_t index : uncoverable) {
+    result.uncoverable.push_back(fault_name(list, index));
+  }
+  test.set_name("Generated(" + list.name + ")");
+  result.test = std::move(test);
+  stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace mtg

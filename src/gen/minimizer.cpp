@@ -1,0 +1,63 @@
+#include "gen/minimizer.hpp"
+
+namespace mtg {
+
+bool covers_all(const FaultSimulator& simulator, const MarchTest& test,
+                const std::vector<FaultInstance>& instances) {
+  if (!FaultSimulator::validity_violation(test).empty()) return false;
+  for (const FaultInstance& instance : instances) {
+    if (!simulator.detects(test, instance)) return false;
+  }
+  return true;
+}
+
+MarchTest minimize_test(const FaultSimulator& simulator, const MarchTest& test,
+                        const std::vector<FaultInstance>& instances,
+                        std::vector<std::string>* log) {
+  MarchTest current = test;
+  const auto note = [&](const std::string& line) {
+    if (log != nullptr) log->push_back(line);
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Try dropping whole elements, longest first (largest win per attempt).
+    for (std::size_t i = 0; i < current.elements().size(); ++i) {
+      if (current.elements().size() == 1) break;
+      MarchTest trial = current;
+      trial.elements().erase(trial.elements().begin() + i);
+      if (covers_all(simulator, trial, instances)) {
+        note("dropped element " + current.elements()[i].to_string());
+        current = std::move(trial);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+
+    // Try dropping single operations.
+    for (std::size_t i = 0; i < current.elements().size() && !changed; ++i) {
+      const MarchElement& element = current.elements()[i];
+      if (element.ops().size() == 1) continue;  // handled by element removal
+      for (std::size_t j = 0; j < element.ops().size(); ++j) {
+        std::vector<Op> ops = element.ops();
+        const Op removed = ops[j];
+        ops.erase(ops.begin() + j);
+        MarchTest trial = current;
+        trial.elements()[i] = MarchElement(element.order(), std::move(ops));
+        if (covers_all(simulator, trial, instances)) {
+          note("dropped op " + to_string(removed) + " from " +
+               element.to_string());
+          current = std::move(trial);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace mtg

@@ -1,0 +1,29 @@
+// Redundancy elimination for generated march tests.
+//
+// The paper claims the methodology "allows generating non-redundant March
+// Tests".  The minimizer enforces this a posteriori: it repeatedly attempts
+// to drop whole march elements and individual operations, keeping a removal
+// whenever the shortened test remains valid and still detects every target
+// fault instance.  The result is locally minimal: no single element or
+// operation can be removed without losing coverage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "march/march_test.hpp"
+#include "sim/simulator.hpp"
+
+namespace mtg {
+
+/// True when `test` is valid and detects every instance in `instances`.
+bool covers_all(const FaultSimulator& simulator, const MarchTest& test,
+                const std::vector<FaultInstance>& instances);
+
+/// Returns a locally minimal test with the same coverage of `instances`.
+/// Appends a human-readable action trace to `log` when non-null.
+MarchTest minimize_test(const FaultSimulator& simulator, const MarchTest& test,
+                        const std::vector<FaultInstance>& instances,
+                        std::vector<std::string>* log = nullptr);
+
+}  // namespace mtg

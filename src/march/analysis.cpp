@@ -1,0 +1,147 @@
+#include "march/analysis.hpp"
+
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mtg {
+
+std::string MarchProfile::to_string() const {
+  std::ostringstream out;
+  out << complexity << "n, " << elements << " elements (" << reads << "r/"
+      << writes << "w/" << waits << "t per cell)";
+  const auto flag = [&](const char* name, const bool value[2]) {
+    out << "\n  " << name << ": ";
+    out << (value[0] ? "0" : "-") << (value[1] ? "1" : "-");
+  };
+  flag("reads value", reads_value);
+  flag("transition write observed (TF)", transition_write_observed);
+  flag("non-transition write observed (WDF)", nontransition_write_observed);
+  flag("double read (DRDF)", double_read);
+  flag("⇑ sensitizing read (a<v CF observation)", up_sensitizing_read);
+  flag("⇓ sensitizing read (v<a CF observation)", down_sensitizing_read);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const MarchProfile& profile) {
+  return os << profile.to_string();
+}
+
+MarchProfile analyze(const MarchTest& test) {
+  require(test.consistency_violation().empty(),
+          "analyze: inconsistent march test: " + test.consistency_violation());
+
+  MarchProfile profile;
+  profile.elements = test.size();
+  profile.complexity = test.complexity();
+
+  // Walk the per-cell operation stream (all elements concatenated; every
+  // cell sees the same stream, only the interleaving across cells differs).
+  std::optional<Bit> value;       // cell value along the stream
+  std::optional<Bit> pending_tf;  // last write was a transition to this value
+  std::optional<Bit> pending_wdf; // last write was non-transition on this value
+  std::optional<Bit> last_read;   // value seen by the immediately preceding read
+
+  for (const MarchElement& element : test.elements()) {
+    bool wrote_in_element = false;
+    for (const Op op : element.ops()) {
+      if (is_wait(op)) {
+        ++profile.waits;
+        continue;
+      }
+      if (is_write(op)) {
+        ++profile.writes;
+        const Bit d = written_value(op);
+        if (value.has_value()) {
+          if (*value == d) {
+            pending_wdf = d;
+            pending_tf.reset();
+          } else {
+            pending_tf = d;
+            pending_wdf.reset();
+          }
+        }
+        value = d;
+        last_read.reset();
+        wrote_in_element = true;
+        continue;
+      }
+      // Read.
+      ++profile.reads;
+      const std::optional<Bit> expected =
+          expected_value(op).has_value() ? expected_value(op) : value;
+      if (expected.has_value()) {
+        const int d = to_int(*expected);
+        profile.reads_value[d] = true;
+        if (pending_tf.has_value() && *pending_tf == *expected) {
+          // Reading back a transition write exposes TF toward that value.
+          profile.transition_write_observed[d] = true;
+        }
+        if (pending_wdf.has_value() && *pending_wdf == *expected) {
+          profile.nontransition_write_observed[d] = true;
+        }
+        if (last_read.has_value() && *last_read == *expected) {
+          profile.double_read[d] = true;
+        }
+        if (!wrote_in_element) {
+          // A read before any write of the element observes the victim in
+          // the state the previous element left: this is what detects
+          // coupling faults sensitized from the other side of the address
+          // order.
+          if (element.order() != AddressOrder::Down) {
+            profile.up_sensitizing_read[d] = true;
+          }
+          if (element.order() != AddressOrder::Up) {
+            profile.down_sensitizing_read[d] = true;
+          }
+        }
+        last_read = expected;
+      }
+      pending_tf.reset();
+      // A WDF stays exposed across consecutive reads (the state is faulty
+      // until rewritten), but one observation suffices for the profile:
+      pending_wdf.reset();
+    }
+  }
+  return profile;
+}
+
+std::vector<std::string> structural_gaps(const MarchTest& test) {
+  const MarchProfile profile = analyze(test);
+  std::vector<std::string> gaps;
+  for (int d = 0; d < 2; ++d) {
+    const char polarity = d == 0 ? '0' : '1';
+    if (!profile.reads_value[d]) {
+      gaps.push_back(std::string("never reads a ") + polarity +
+                     ": SF/state faults of that polarity escape");
+    }
+    if (!profile.transition_write_observed[d]) {
+      gaps.push_back(std::string("no observed transition write to ") +
+                     polarity + ": TF" + (d == 1 ? "↑" : "↓") + " escapes");
+    }
+    if (!profile.nontransition_write_observed[d]) {
+      gaps.push_back(std::string("no observed non-transition w") + polarity +
+                     ": WDF" + polarity + " escapes");
+    }
+    if (!profile.double_read[d]) {
+      gaps.push_back(std::string("no back-to-back reads of ") + polarity +
+                     ": DRDF" + polarity + " escapes");
+    }
+    if (!profile.up_sensitizing_read[d]) {
+      gaps.push_back(std::string("no ⇑ element starting with r") + polarity +
+                     ": CFs with a<v sensitized at value " + polarity +
+                     " escape");
+    }
+    if (!profile.down_sensitizing_read[d]) {
+      gaps.push_back(std::string("no ⇓ element starting with r") + polarity +
+                     ": CFs with v<a sensitized at value " + polarity +
+                     " escape");
+    }
+  }
+  return gaps;
+}
+
+}  // namespace mtg

@@ -1,0 +1,54 @@
+// Structural analysis of march tests.
+//
+// March test theory characterizes a test's detection capability by the
+// operation patterns it applies per cell: transition writes, non-transition
+// writes followed by a read (WDF detection), back-to-back reads (DRDF
+// detection), reads of both polarities, and so on.  This analyzer derives
+// those structural properties directly from the notation — a fast
+// complement to the fault simulator, useful to explain *why* a test covers
+// or misses a fault class and to sanity-check generated tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/bit.hpp"
+#include "march/march_test.hpp"
+
+namespace mtg {
+
+/// Per-polarity structural capabilities of a march test (value = the cell
+/// state the capability refers to, e.g. `reads_value[0]` — reads a 0).
+struct MarchProfile {
+  std::size_t elements = 0;
+  std::size_t complexity = 0;
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  std::size_t waits = 0;
+
+  // Indexed by polarity (0/1); derived from the per-cell operation stream
+  // the test applies (element sequences concatenated, entry values tracked).
+  bool reads_value[2] = {false, false};           ///< some read sees value d
+  bool transition_write_observed[2] = {false, false};  ///< w d̄→d ... r d (TF d̄)
+  bool nontransition_write_observed[2] = {false, false};  ///< w d on d ... r (WDF)
+  bool double_read[2] = {false, false};           ///< r d immediately re-read (DRDF)
+  bool up_sensitizing_read[2] = {false, false};   ///< ⇑ element reads d before writes
+  bool down_sensitizing_read[2] = {false, false}; ///< ⇓ element reads d before writes
+
+  std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const MarchProfile& profile);
+
+/// Computes the structural profile of `test`.  The test must be consistent
+/// (MarchTest::consistency_violation() empty); throws mtg::Error otherwise.
+MarchProfile analyze(const MarchTest& test);
+
+/// Structural explanations of coverage limits, derived from the profile:
+/// human-readable reasons why the test is unlikely to cover the named fault
+/// classes (empty = no structural objection).  These are conservative
+/// heuristics, not impossibility proofs — linked-fault effects can surface
+/// through reads the profile does not credit (see March RABL).
+std::vector<std::string> structural_gaps(const MarchTest& test);
+
+}  // namespace mtg

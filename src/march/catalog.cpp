@@ -1,0 +1,144 @@
+#include "march/catalog.hpp"
+
+#include "common/error.hpp"
+#include "march/parser.hpp"
+
+namespace mtg {
+namespace {
+
+MarchTest make(const char* name, const char* notation, std::size_t complexity) {
+  MarchTest test = parse_march_test(notation, name);
+  MTG_INTERNAL_CHECK(test.complexity() == complexity,
+                     std::string("catalog test ") + name + " has complexity " +
+                         test.complexity_label() + ", expected " +
+                         std::to_string(complexity) + "n");
+  MTG_INTERNAL_CHECK(test.consistency_violation().empty(),
+                     std::string("catalog test ") + name + " is inconsistent: " +
+                         test.consistency_violation());
+  return test;
+}
+
+}  // namespace
+
+MarchTest mats_plus() {
+  return make("MATS+", "{c(w0); ^(r0,w1); v(r1,w0)}", 5);
+}
+
+MarchTest march_x() {
+  return make("March X", "{c(w0); ^(r0,w1); v(r1,w0); c(r0)}", 6);
+}
+
+MarchTest march_y() {
+  return make("March Y", "{c(w0); ^(r0,w1,r1); v(r1,w0,r0); c(r0)}", 8);
+}
+
+MarchTest march_c_minus() {
+  return make("March C-",
+              "{c(w0); ^(r0,w1); ^(r1,w0); v(r0,w1); v(r1,w0); c(r0)}", 10);
+}
+
+MarchTest march_a() {
+  return make("March A",
+              "{c(w0); ^(r0,w1,w0,w1); ^(r1,w0,w1); v(r1,w0,w1,w0); v(r0,w1,w0)}",
+              15);
+}
+
+MarchTest march_b() {
+  return make("March B",
+              "{c(w0); ^(r0,w1,r1,w0,r0,w1); ^(r1,w0,w1); v(r1,w0,w1,w0); "
+              "v(r0,w1,w0)}",
+              17);
+}
+
+MarchTest march_u() {
+  return make("March U",
+              "{c(w0); ^(r0,w1,r1,w0); ^(r0,w1); v(r1,w0,r0,w1); v(r1,w0)}", 13);
+}
+
+MarchTest march_g() {
+  // van de Goor's March G; the two `t` waits are the data-retention pauses
+  // (Definition 2's wait operation).
+  return make("March G",
+              "{c(w0); ^(r0,w1,r1,w0,r0,w1); ^(r1,w0,w1); v(r1,w0,w1,w0); "
+              "v(r0,w1,w0); c(t,r0,w1,r1); c(t,r1,w0,r0)}",
+              25);  // 23n + 2 delays; our cost model counts the waits
+}
+
+MarchTest pmovi() {
+  return make("PMOVI",
+              "{v(w0); ^(r0,w1,r1); ^(r1,w0,r0); v(r0,w1,r1); v(r1,w0,r0)}",
+              13);
+}
+
+MarchTest march_lr() {
+  return make("March LR",
+              "{c(w0); v(r0,w1); ^(r1,w0,r0,w1); ^(r1,w0); ^(r0,w1,r1,w0); ^(r0)}",
+              14);
+}
+
+MarchTest march_la() {
+  return make("March LA",
+              "{c(w0); ^(r0,w1,w0,w1,r1); ^(r1,w0,w1,w0,r0); v(r0,w1,w0,w1,r1); "
+              "v(r1,w0,w1,w0,r0); v(r0)}",
+              22);
+}
+
+MarchTest march_ss() {
+  return make("March SS",
+              "{c(w0); ^(r0,r0,w0,r0,w1); ^(r1,r1,w1,r1,w0); v(r0,r0,w0,r0,w1); "
+              "v(r1,r1,w1,r1,w0); c(r0)}",
+              22);
+}
+
+MarchTest march_sl() {
+  return make("March SL",
+              "{c(w0); ^(r0,r0,w1,w1,r1,r1,w0,w0,r0,w1); "
+              "^(r1,r1,w0,w0,r0,r0,w1,w1,r1,w0); "
+              "v(r0,r0,w1,w1,r1,r1,w0,w0,r0,w1); "
+              "v(r1,r1,w0,w0,r0,r0,w1,w1,r1,w0)}",
+              41);
+}
+
+MarchTest march_lf1() {
+  // Reconstruction of the 11n March LF1 [16]; validated against Fault List
+  // #2 by the fault simulator (see tests/test_calibration.cpp).
+  return make("March LF1",
+              "{c(w0); c(r0,w0,r0,r0,w1); c(r1,w1,r1,r1,w0)}", 11);
+}
+
+MarchTest march_abl() {
+  // Paper Table 1, row "ABL" (Fault List #1, 37n).
+  return make("March ABL",
+              "{c(w0); ^(r0,r0,w0,r0,w1,w1,r1); ^(r1,r1,w1,r1,w0,w0,r0); "
+              "v(r0,w1); v(r1,w0); v(r0,r0,w0,r0,w1,w1,r1); "
+              "v(r1,r1,w1,r1,w0,w0,r0); ^(r0,w1); ^(r1,w0)}",
+              37);
+}
+
+MarchTest march_rabl() {
+  // Paper Table 1, row "RABL" (Fault List #1, 35n).
+  return make("March RABL",
+              "{c(w0); ^(r0,r0,w0,r0); ^(r0,w1,r1,r1,w1,r1,w0,r0); ^(r0,w1); "
+              "v(r1,r1,w1,r1,w0,r0,w0,r0); ^(w1); "
+              "^(r1,r1,w1,r1,w0,r0,r0,w0,r0,w1,r1)}",
+              35);
+}
+
+MarchTest march_abl1() {
+  // Paper Table 1, row "ABL1" (Fault List #2, 9n).
+  return make("March ABL1", "{c(w0); c(w0,r0,r0,w1); c(w1,r1,r1,w0)}", 9);
+}
+
+std::vector<MarchTest> all_catalog_tests() {
+  return {mats_plus(),  march_x(),   march_y(),  march_c_minus(), march_a(),
+          march_b(),    march_u(),   march_g(),  pmovi(),         march_lr(),
+          march_la(),   march_ss(),  march_sl(), march_lf1(),     march_abl(),
+          march_rabl(), march_abl1()};
+}
+
+std::vector<MarchTest> linked_fault_catalog_tests() {
+  return {march_lr(), march_la(), march_sl(), march_lf1(), march_abl(),
+          march_rabl(), march_abl1()};
+}
+
+}  // namespace mtg

@@ -1,0 +1,46 @@
+#include "march/march_element.hpp"
+
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mtg {
+
+MarchElement::MarchElement(AddressOrder order, std::vector<Op> ops)
+    : order_(order), ops_(std::move(ops)) {
+  require(!ops_.empty(), "a march element needs at least one operation");
+}
+
+std::optional<Bit> MarchElement::final_value() const {
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    if (is_write(*it)) return written_value(*it);
+  }
+  return std::nullopt;
+}
+
+std::optional<Bit> MarchElement::required_entry_value() const {
+  for (Op op : ops_) {
+    if (is_write(op)) return std::nullopt;  // first write hides the entry value
+    if (auto expected = expected_value(op)) return expected;
+  }
+  return std::nullopt;
+}
+
+std::string MarchElement::to_string(bool ascii) const {
+  std::ostringstream out;
+  if (ascii) {
+    out << to_ascii(order_);
+  } else {
+    out << to_symbol(order_);
+  }
+  out << '(' << mtg::to_string(ops_) << ')';
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const MarchElement& me) {
+  return os << me.to_string();
+}
+
+}  // namespace mtg

@@ -1,0 +1,60 @@
+// March elements (Definition 10).
+//
+// A march element is a finite sequence of memory operations applied to every
+// memory cell in a given address order before moving to the next cell.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/address_order.hpp"
+#include "common/op.hpp"
+
+namespace mtg {
+
+class MarchElement {
+ public:
+  MarchElement() = default;
+  MarchElement(AddressOrder order, std::vector<Op> ops);
+
+  AddressOrder order() const noexcept { return order_; }
+  const std::vector<Op>& ops() const noexcept { return ops_; }
+
+  /// Number of memory operations per cell (the element's contribution to the
+  /// march test complexity coefficient).
+  std::size_t cost() const noexcept { return ops_.size(); }
+
+  /// The value every cell holds after this element ran on a fault-free
+  /// memory, if the element determines one (i.e. it contains a write);
+  /// otherwise returns std::nullopt (the element is read/wait only and the
+  /// memory keeps its previous uniform value).
+  std::optional<Bit> final_value() const;
+
+  /// The uniform value the memory must hold when the element starts, implied
+  /// by the element's first read/write with a specified value, if any.
+  /// (E.g. "⇑(r1,w0)" requires all cells to be 1.)
+  std::optional<Bit> required_entry_value() const;
+
+  void set_order(AddressOrder order) noexcept { order_ = order; }
+  void append(Op op) { ops_.push_back(op); }
+
+  /// Notation form, e.g. "⇑(r0,w1)"; with `ascii` = true, "^(r0,w1)".
+  std::string to_string(bool ascii = false) const;
+
+  friend bool operator==(const MarchElement& a, const MarchElement& b) {
+    return a.order_ == b.order_ && a.ops_ == b.ops_;
+  }
+  friend bool operator!=(const MarchElement& a, const MarchElement& b) {
+    return !(a == b);
+  }
+
+ private:
+  AddressOrder order_ = AddressOrder::Any;
+  std::vector<Op> ops_;
+};
+
+std::ostream& operator<<(std::ostream& os, const MarchElement& me);
+
+}  // namespace mtg

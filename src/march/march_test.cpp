@@ -1,0 +1,60 @@
+#include "march/march_test.hpp"
+
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mtg {
+
+MarchTest::MarchTest(std::string name, std::vector<MarchElement> elements)
+    : name_(std::move(name)), elements_(std::move(elements)) {}
+
+std::size_t MarchTest::complexity() const noexcept {
+  std::size_t total = 0;
+  for (const auto& e : elements_) total += e.cost();
+  return total;
+}
+
+std::string MarchTest::complexity_label() const {
+  return std::to_string(complexity()) + "n";
+}
+
+std::string MarchTest::consistency_violation() const {
+  std::optional<Bit> value;  // uniform memory value between elements; nullopt = unknown
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    const MarchElement& e = elements_[i];
+    if (auto needed = e.required_entry_value()) {
+      if (!value.has_value()) {
+        return "element #" + std::to_string(i) + " " + e.to_string() +
+               " reads an expected value from an unknown memory state";
+      }
+      if (*needed != *value) {
+        return "element #" + std::to_string(i) + " " + e.to_string() +
+               " expects entry value " + std::string(1, to_char(*needed)) +
+               " but the memory holds " + std::string(1, to_char(*value));
+      }
+    }
+    if (auto out = e.final_value()) value = out;
+    // A write-free element leaves the previous value in place.
+  }
+  return {};
+}
+
+std::string MarchTest::to_string(bool ascii) const {
+  std::ostringstream out;
+  out << '{';
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    if (i > 0) out << "; ";
+    out << elements_[i].to_string(ascii);
+  }
+  out << '}';
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const MarchTest& mt) {
+  return os << mt.to_string();
+}
+
+}  // namespace mtg

@@ -1,0 +1,63 @@
+// March tests (Definition 10): a named sequence of march elements.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "march/march_element.hpp"
+
+namespace mtg {
+
+class MarchTest {
+ public:
+  MarchTest() = default;
+  MarchTest(std::string name, std::vector<MarchElement> elements);
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<MarchElement>& elements() const noexcept { return elements_; }
+  std::vector<MarchElement>& elements() noexcept { return elements_; }
+
+  bool empty() const noexcept { return elements_.empty(); }
+  std::size_t size() const noexcept { return elements_.size(); }
+
+  void append(MarchElement element) { elements_.push_back(std::move(element)); }
+
+  /// The test complexity coefficient: total operations applied per memory
+  /// cell.  A march test of complexity c performs c*n operations on an
+  /// n-cell memory; the literature writes this as "cn" (e.g. March SL is 41n).
+  std::size_t complexity() const noexcept;
+
+  /// "41n"-style complexity label.
+  std::string complexity_label() const;
+
+  /// Structural well-formedness check: every element's expected entry value
+  /// (first read before any write) must match the previous element's final
+  /// value, and the first element must not expect a value on the
+  /// power-on (unknown) memory.  Returns an explanation of the first
+  /// violation, or an empty string when consistent.
+  ///
+  /// Note this is a necessary condition only; full validation against the
+  /// fault-free machine is done by sim::FaultSimulator::validate.
+  std::string consistency_violation() const;
+
+  /// Notation form: "{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}".
+  std::string to_string(bool ascii = false) const;
+
+  friend bool operator==(const MarchTest& a, const MarchTest& b) {
+    return a.elements_ == b.elements_;  // the name is metadata
+  }
+  friend bool operator!=(const MarchTest& a, const MarchTest& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::string name_;
+  std::vector<MarchElement> elements_;
+};
+
+std::ostream& operator<<(std::ostream& os, const MarchTest& mt);
+
+}  // namespace mtg

@@ -1,0 +1,135 @@
+#include "march/parser.hpp"
+
+#include <cctype>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mtg {
+namespace {
+
+/// Minimal cursor-based scanner over the march notation.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           (std::isspace(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == ';')) {
+      ++pos_;
+    }
+  }
+
+  bool done() {
+    skip_space();
+    return pos_ >= text_.size();
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  /// Consumes one address-order marker (ASCII letter or UTF-8 arrow).
+  AddressOrder read_order() {
+    skip_space();
+    if (consume('^')) return AddressOrder::Up;
+    // 'v' and 'c' are unambiguous because operations never start an element.
+    if (consume('v')) return AddressOrder::Down;
+    if (consume('c')) return AddressOrder::Any;
+    // UTF-8 arrows: ⇑ = E2 87 91, ⇓ = E2 87 93, ⇕ = E2 87 95.
+    if (pos_ + 3 <= text_.size() && static_cast<unsigned char>(text_[pos_]) == 0xE2 &&
+        static_cast<unsigned char>(text_[pos_ + 1]) == 0x87) {
+      unsigned char third = static_cast<unsigned char>(text_[pos_ + 2]);
+      pos_ += 3;
+      switch (third) {
+        case 0x91: return AddressOrder::Up;
+        case 0x93: return AddressOrder::Down;
+        case 0x95: return AddressOrder::Any;
+        default: break;
+      }
+      pos_ -= 3;
+    }
+    fail("expected an address order marker (^, v, c or an arrow)");
+  }
+
+  /// Consumes one operation token (w0, w1, r0, r1, r, t).
+  Op read_op() {
+    skip_space();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isalnum(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (start == pos_) fail("expected an operation token");
+    try {
+      return op_from_string(text_.substr(start, pos_ - start));
+    } catch (const Error& e) {
+      pos_ = start;
+      fail(e.what());
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error("march notation error at offset " + std::to_string(pos_) + ": " +
+                message + " in \"" + std::string(text_) + "\"");
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+MarchElement read_element(Scanner& scanner) {
+  AddressOrder order = scanner.read_order();
+  scanner.skip_space();
+  scanner.expect('(');
+  std::vector<Op> ops;
+  ops.push_back(scanner.read_op());
+  scanner.skip_space();
+  while (scanner.consume(',')) {
+    ops.push_back(scanner.read_op());
+    scanner.skip_space();
+  }
+  scanner.expect(')');
+  return MarchElement(order, std::move(ops));
+}
+
+}  // namespace
+
+MarchElement parse_march_element(std::string_view text) {
+  Scanner scanner(text);
+  MarchElement element = read_element(scanner);
+  require(scanner.done(), "trailing characters after march element in \"" +
+                              std::string(text) + "\"");
+  return element;
+}
+
+MarchTest parse_march_test(std::string_view text, std::string name) {
+  Scanner scanner(text);
+  scanner.skip_space();
+  const bool braced = scanner.consume('{');
+  std::vector<MarchElement> elements;
+  while (!scanner.done() && scanner.peek() != '}') {
+    elements.push_back(read_element(scanner));
+    scanner.skip_space();
+  }
+  if (braced) scanner.expect('}');
+  require(scanner.done(), "trailing characters after march test in \"" +
+                              std::string(text) + "\"");
+  require(!elements.empty(), "march test has no elements: \"" + std::string(text) + "\"");
+  return MarchTest(std::move(name), std::move(elements));
+}
+
+}  // namespace mtg

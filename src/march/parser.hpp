@@ -1,0 +1,29 @@
+// Parser for the textual march notation.
+//
+// Accepted grammar (whitespace tolerant, ';' between elements optional):
+//
+//   test    := '{'? element ( ';'? element )* '}'?
+//   element := order '(' op ( ',' op )* ')'
+//   order   := '^' | 'v' | 'c' | '⇑' | '⇓' | '⇕'
+//   op      := 'w0' | 'w1' | 'r0' | 'r1' | 'r' | 't'
+//
+// Examples:
+//   "{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}"
+//   "c(w0) ^(r0,w1) v(r1,w0)"
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "march/march_test.hpp"
+
+namespace mtg {
+
+/// Parses a march test from its textual notation.  Throws mtg::Error with a
+/// position-annotated message on malformed input.
+MarchTest parse_march_test(std::string_view text, std::string name = {});
+
+/// Parses a single march element, e.g. "⇑(r0,w1)".
+MarchElement parse_march_element(std::string_view text);
+
+}  // namespace mtg

@@ -1,0 +1,47 @@
+#include "memory/automaton.hpp"
+
+#include "common/error.hpp"
+
+namespace mtg {
+
+MealyAutomaton::MealyAutomaton(std::size_t num_cells) : num_cells_(num_cells) {
+  require(num_cells >= 1 && num_cells <= SmallState::kMaxCells,
+          "MealyAutomaton: unsupported cell count");
+}
+
+void MealyAutomaton::check_state(const SmallState& q) const {
+  require(q.num_cells() == num_cells_, "state does not belong to this automaton");
+}
+
+SmallState MealyAutomaton::delta(const SmallState& q,
+                                 const AddressedOp& op) const {
+  check_state(q);
+  if (op.op == Op::T) return q;
+  require(op.cell < num_cells_, "delta: cell index out of range");
+  if (is_read(op.op)) return q;
+  SmallState next = q;
+  next.set(op.cell, written_value(op.op));
+  return next;
+}
+
+std::optional<Bit> MealyAutomaton::lambda(const SmallState& q,
+                                          const AddressedOp& op) const {
+  check_state(q);
+  if (op.op == Op::T) return std::nullopt;
+  require(op.cell < num_cells_, "lambda: cell index out of range");
+  if (is_read(op.op)) return q.get(op.cell);
+  return std::nullopt;
+}
+
+std::vector<AddressedOp> MealyAutomaton::input_alphabet() const {
+  std::vector<AddressedOp> alphabet;
+  for (std::size_t c = 0; c < num_cells_; ++c) {
+    alphabet.push_back({c, Op::W0});
+    alphabet.push_back({c, Op::W1});
+    alphabet.push_back({c, Op::R});
+  }
+  alphabet.push_back({0, Op::T});
+  return alphabet;
+}
+
+}  // namespace mtg

@@ -1,0 +1,48 @@
+// The memory model of Section 4: a deterministic Mealy automaton
+//
+//   M = (Q, X, Y, δ, λ)
+//
+// for an n one-bit-cell fault-free memory.  Q = {0,1}^n are the memory
+// states, X the operation alphabet of Definition 2, Y = {0, 1, -} the output
+// alphabet ('-' for writes and waits), δ the state transition function and
+// λ the output function.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/bit.hpp"
+#include "common/state.hpp"
+#include "fp/afp.hpp"  // AddressedOp
+
+namespace mtg {
+
+class MealyAutomaton {
+ public:
+  /// Model memory with `num_cells` one-bit cells (2^num_cells states).
+  explicit MealyAutomaton(std::size_t num_cells);
+
+  std::size_t num_cells() const noexcept { return num_cells_; }
+  std::size_t num_states() const noexcept { return std::size_t{1} << num_cells_; }
+
+  /// δ: the state after performing `op` in state `q`.  Reads and waits leave
+  /// the state unchanged; a write updates the addressed cell.
+  SmallState delta(const SmallState& q, const AddressedOp& op) const;
+
+  /// λ: the output of performing `op` in state `q` — the read value for
+  /// reads, std::nullopt ('-') for writes and waits.
+  std::optional<Bit> lambda(const SmallState& q, const AddressedOp& op) const;
+
+  /// All distinct input symbols: w0/w1/read per cell, plus the wait `t`.
+  /// Reads are annotated per state when used as edge labels; here the read
+  /// is represented address-only (Op::R).
+  std::vector<AddressedOp> input_alphabet() const;
+
+ private:
+  void check_state(const SmallState& q) const;
+
+  std::size_t num_cells_;
+};
+
+}  // namespace mtg

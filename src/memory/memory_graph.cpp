@@ -1,0 +1,54 @@
+#include "memory/memory_graph.hpp"
+
+#include <sstream>
+
+namespace mtg {
+
+std::string GraphEdge::label() const {
+  std::string out = to_string(op);
+  out += " / ";
+  out += output.has_value() ? std::string(1, to_char(*output)) : "-";
+  return out;
+}
+
+MemoryGraph::MemoryGraph(std::size_t num_cells) : automaton_(num_cells) {
+  for (std::size_t s = 0; s < automaton_.num_states(); ++s) {
+    const SmallState from(num_cells, static_cast<std::uint16_t>(s));
+    for (AddressedOp op : automaton_.input_alphabet()) {
+      // Annotate reads with the value they return in this state, matching
+      // the labels of Figure 2 (e.g. "r[i] / 0" only exists where cell i is 0).
+      if (op.op == Op::R) op.op = make_read(from.get(op.cell));
+      GraphEdge edge{from, automaton_.delta(from, op), op,
+                     automaton_.lambda(from, op)};
+      edges_.push_back(std::move(edge));
+    }
+  }
+}
+
+std::vector<GraphEdge> MemoryGraph::edges_from(const SmallState& from) const {
+  std::vector<GraphEdge> out;
+  for (const GraphEdge& e : edges_) {
+    if (e.from == from) out.push_back(e);
+  }
+  return out;
+}
+
+std::string MemoryGraph::to_dot(const std::string& graph_name) const {
+  std::ostringstream out;
+  out << "digraph " << graph_name << " {\n";
+  out << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (std::size_t s = 0; s < num_vertices(); ++s) {
+    const SmallState state(num_cells(), static_cast<std::uint16_t>(s));
+    out << "  \"" << state << "\";\n";
+  }
+  for (const GraphEdge& e : edges_) {
+    out << "  \"" << e.from << "\" -> \"" << e.to << "\" [label=\""
+        << e.label() << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+MemoryGraph make_g0() { return MemoryGraph(2); }
+
+}  // namespace mtg

@@ -1,0 +1,52 @@
+// The labeled directed graph G = {V, E} representing the memory model
+// (Section 4, Equation 10; Figure 2 shows the 2-cell instance G0).
+//
+// Vertices are the 2^n memory states; each edge carries a label "x / d"
+// where x is a memory operation and d the output value (λ).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "memory/automaton.hpp"
+
+namespace mtg {
+
+/// One fault-free edge of the memory graph.
+struct GraphEdge {
+  SmallState from;
+  SmallState to;
+  AddressedOp op;             ///< reads annotated with the value they return
+  std::optional<Bit> output;  ///< λ(from, op): read value or '-' for writes
+
+  /// The paper's label form "x / d", e.g. "w1[0] / -", "r[1] / 0".
+  std::string label() const;
+};
+
+class MemoryGraph {
+ public:
+  /// Builds the full graph of the `num_cells`-cell fault-free memory model.
+  explicit MemoryGraph(std::size_t num_cells);
+
+  std::size_t num_cells() const noexcept { return automaton_.num_cells(); }
+  std::size_t num_vertices() const noexcept { return automaton_.num_states(); }
+  const MealyAutomaton& automaton() const noexcept { return automaton_; }
+
+  const std::vector<GraphEdge>& edges() const noexcept { return edges_; }
+
+  /// Edges leaving the state `from`.
+  std::vector<GraphEdge> edges_from(const SmallState& from) const;
+
+  /// GraphViz DOT rendering (Figure 2-style).
+  std::string to_dot(const std::string& graph_name = "G0") const;
+
+ private:
+  MealyAutomaton automaton_;
+  std::vector<GraphEdge> edges_;
+};
+
+/// The paper's G0: the 2-cell fault-free memory model of Figure 2.
+MemoryGraph make_g0();
+
+}  // namespace mtg

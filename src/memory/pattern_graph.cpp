@@ -1,0 +1,129 @@
+#include "memory/pattern_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mtg {
+
+std::string FaultyEdge::label() const { return to_string(ops); }
+
+std::size_t PatternGraph::required_model_cells(const FaultList& list) {
+  std::size_t cells = 1;
+  for (const SimpleFault& f : list.simple) {
+    cells = std::max(cells, static_cast<std::size_t>(f.num_cells()));
+  }
+  for (const LinkedFault& f : list.linked) {
+    cells = std::max(cells, static_cast<std::size_t>(f.num_cells()));
+  }
+  return cells;
+}
+
+PatternGraph::PatternGraph(const FaultList& list, std::size_t model_cells)
+    : base_(model_cells == 0 ? required_model_cells(list) : model_cells) {
+  require(base_.num_cells() >= required_model_cells(list),
+          "pattern graph model memory is smaller than the largest fault");
+  std::size_t ordinal = 0;
+  for (const SimpleFault& f : list.simple) add_simple_fault(f, ordinal++);
+  for (const LinkedFault& f : list.linked) add_linked_fault(f, ordinal++);
+}
+
+namespace {
+
+/// All strictly ascending `k`-subsets of {0, ..., n-1}.
+std::vector<std::vector<std::size_t>> ascending_subsets(std::size_t n,
+                                                        std::size_t k) {
+  std::vector<std::vector<std::size_t>> result;
+  std::vector<std::size_t> pick(k);
+  // Iterative combination enumeration.
+  for (std::size_t i = 0; i < k; ++i) pick[i] = i;
+  if (k > n) return result;
+  while (true) {
+    result.push_back(pick);
+    // advance
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (pick[i] != i + n - k) {
+        ++pick[i];
+        for (std::size_t j = i + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return result;
+    }
+    if (k == 0) return result;
+  }
+}
+
+}  // namespace
+
+void PatternGraph::add_simple_fault(const SimpleFault& fault,
+                                    std::size_t fault_ordinal) {
+  (void)fault_ordinal;
+  const std::size_t k = fault.num_cells();
+  for (const auto& cells : ascending_subsets(base_.num_cells(), k)) {
+    const std::size_t v = cells[fault.v_pos];
+    const std::size_t a = fault.a_pos >= 0 ? cells[fault.a_pos] : v;
+    for (const Afp& afp : expand_afps(fault.fp, a, v, base_.num_cells())) {
+      const TestPattern tp = to_test_pattern(afp);
+      FaultyEdge edge{tp.initial, tp.end_state, tp.ops,
+                      tp.victim,  fault.name,   1,
+                      next_pair_id_++};
+      faulty_edges_.push_back(std::move(edge));
+    }
+  }
+}
+
+void PatternGraph::add_linked_fault(const LinkedFault& fault,
+                                    std::size_t fault_ordinal) {
+  (void)fault_ordinal;
+  const std::size_t k = fault.num_cells();
+  for (const auto& cells : ascending_subsets(base_.num_cells(), k)) {
+    for (const LinkedAfpPair& pair :
+         expand_linked_afps(fault, cells, base_.num_cells())) {
+      const std::size_t pair_id = next_pair_id_++;
+      faulty_edges_.push_back(FaultyEdge{pair.tp1.initial, pair.tp1.end_state,
+                                         pair.tp1.ops, pair.tp1.victim,
+                                         fault.name(), 1, pair_id});
+      faulty_edges_.push_back(FaultyEdge{pair.tp2.initial, pair.tp2.end_state,
+                                         pair.tp2.ops, pair.tp2.victim,
+                                         fault.name(), 2, pair_id});
+    }
+  }
+}
+
+std::string PatternGraph::to_dot(const std::string& graph_name) const {
+  std::ostringstream out;
+  out << "digraph " << graph_name << " {\n";
+  out << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (std::size_t s = 0; s < base_.num_vertices(); ++s) {
+    const SmallState state(base_.num_cells(), static_cast<std::uint16_t>(s));
+    out << "  \"" << state << "\";\n";
+  }
+  for (const GraphEdge& e : base_.edges()) {
+    out << "  \"" << e.from << "\" -> \"" << e.to << "\" [label=\""
+        << e.label() << "\"];\n";
+  }
+  for (const FaultyEdge& e : faulty_edges_) {
+    out << "  \"" << e.from << "\" -> \"" << e.to << "\" [label=\""
+        << e.label() << "\", style=bold, penwidth=2];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+LinkedFault disturb_coupling_linked_fault() {
+  const FaultPrimitive fp1 = FaultPrimitive::cfds(Bit::Zero, SenseOp::W1, Bit::Zero);
+  const FaultPrimitive fp2 = FaultPrimitive::cfds(Bit::One, SenseOp::W0, Bit::One);
+  return LinkedFault(fp1, fp2, LinkedLayout::two_cell(0, 0, 1));
+}
+
+PatternGraph make_pgcf() {
+  FaultList list;
+  list.name = "Linked disturb coupling fault (Equations 12-14)";
+  list.linked.push_back(disturb_coupling_linked_fault());
+  return PatternGraph(list, 2);
+}
+
+}  // namespace mtg

@@ -1,0 +1,72 @@
+// The Pattern Graph PG = {Vp, Ep ∪ Fp} (Section 4, Equation 11; Figure 4).
+//
+// The pattern graph is the fault-free memory graph of the k-cell model
+// memory (k = the largest number of cells any target fault involves, so
+// |Vp| = 2^k, as in the paper) extended with *faulty edges*: one edge per
+// Test Pattern, going from the pattern's initial state I to the state the
+// *faulty* machine reaches (Fv) — for linked faults, TP1's target equals
+// TP2's source (I2 = Fv1), reproducing Figure 3.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fp/fault_list.hpp"
+#include "memory/memory_graph.hpp"
+
+namespace mtg {
+
+/// A faulty edge of the pattern graph: one Test Pattern.
+struct FaultyEdge {
+  SmallState from;               ///< I — pattern's initial state
+  SmallState to;                 ///< Fv — faulty state reached
+  std::vector<AddressedOp> ops;  ///< E followed by the observation read O
+  std::size_t victim = 0;        ///< victim cell in the model
+  std::string source;            ///< name of the originating fault
+  int tp_index = 1;              ///< 1 = TP1, 2 = TP2 (for linked faults)
+  std::size_t pair_id = 0;       ///< groups the two TPs of one linked fault
+
+  std::string label() const;  ///< e.g. "w1[0],r0[1]"
+};
+
+class PatternGraph {
+ public:
+  /// Builds the pattern graph of `list` over a model memory of
+  /// `model_cells` cells (0 = automatic: the largest fault size in the list).
+  /// Faults are embedded at every ascending assignment of model cells.
+  explicit PatternGraph(const FaultList& list, std::size_t model_cells = 0);
+
+  /// k such that |Vp| = 2^k suffices for `list` (the paper's
+  /// "2^max(#f-cells_i)" rule).
+  static std::size_t required_model_cells(const FaultList& list);
+
+  std::size_t model_cells() const noexcept { return base_.num_cells(); }
+  std::size_t num_vertices() const noexcept { return base_.num_vertices(); }
+  const MemoryGraph& base() const noexcept { return base_; }
+  const std::vector<FaultyEdge>& faulty_edges() const noexcept {
+    return faulty_edges_;
+  }
+
+  /// GraphViz DOT rendering; faulty edges are bold, as in Figure 4.
+  std::string to_dot(const std::string& graph_name = "PG") const;
+
+ private:
+  void add_simple_fault(const SimpleFault& fault, std::size_t fault_ordinal);
+  void add_linked_fault(const LinkedFault& fault, std::size_t fault_ordinal);
+
+  MemoryGraph base_;
+  std::vector<FaultyEdge> faulty_edges_;
+  std::size_t next_pair_id_ = 0;
+};
+
+/// The PGCF of Figure 4: the pattern graph of the disturb coupling fault
+/// linked with the disturb coupling fault (Equations 12–14) on the 2-cell
+/// model G0.
+PatternGraph make_pgcf();
+
+/// The linked fault of Equations (12)-(14):
+/// <0w1;0/1/-> → <1w0;1/0/-> with a shared aggressor below the victim.
+LinkedFault disturb_coupling_linked_fault();
+
+}  // namespace mtg

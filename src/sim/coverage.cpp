@@ -1,0 +1,111 @@
+#include "sim/coverage.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mtg {
+
+std::size_t CoverageReport::faults_covered() const {
+  std::size_t covered = 0;
+  for (const CoverageEntry& e : entries) covered += e.covered ? 1 : 0;
+  return covered;
+}
+
+std::size_t CoverageReport::instances_total() const {
+  std::size_t total = 0;
+  for (const CoverageEntry& e : entries) total += e.instances;
+  return total;
+}
+
+std::size_t CoverageReport::instances_detected() const {
+  std::size_t detected = 0;
+  for (const CoverageEntry& e : entries) detected += e.detected;
+  return detected;
+}
+
+double CoverageReport::fault_coverage_percent() const {
+  if (entries.empty()) return 100.0;
+  return 100.0 * static_cast<double>(faults_covered()) /
+         static_cast<double>(faults_total());
+}
+
+double CoverageReport::instance_coverage_percent() const {
+  const std::size_t total = instances_total();
+  if (total == 0) return 100.0;
+  return 100.0 * static_cast<double>(instances_detected()) /
+         static_cast<double>(total);
+}
+
+std::vector<std::string> CoverageReport::missed_faults() const {
+  std::vector<std::string> missed;
+  for (const CoverageEntry& e : entries) {
+    if (!e.covered) missed.push_back(e.fault);
+  }
+  return missed;
+}
+
+std::string CoverageReport::summary() const {
+  std::ostringstream out;
+  out << test_name << " (" << test_complexity << "n) vs " << list_name << ": "
+      << faults_covered() << "/" << faults_total() << " faults covered ("
+      << std::fixed << std::setprecision(2) << fault_coverage_percent()
+      << "%), " << instances_detected() << "/" << instances_total()
+      << " instances (" << std::setprecision(2) << instance_coverage_percent()
+      << "%)";
+  const auto missed = missed_faults();
+  if (!missed.empty()) {
+    out << "\n  missed:";
+    const std::size_t shown = std::min<std::size_t>(missed.size(), 20);
+    for (std::size_t i = 0; i < shown; ++i) out << "\n    " << missed[i];
+    if (missed.size() > shown) {
+      out << "\n    ... and " << missed.size() - shown << " more";
+    }
+  }
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const CoverageReport& report) {
+  return os << report.summary();
+}
+
+CoverageReport evaluate_coverage(const FaultSimulator& simulator,
+                                 const MarchTest& test, const FaultList& list) {
+  FaultSimulator::validate(test);
+  CoverageReport report;
+  report.test_name = test.name().empty() ? test.to_string() : test.name();
+  report.list_name = list.name;
+  report.test_complexity = test.complexity();
+
+  const std::size_t faults = fault_count(list);
+  report.entries.resize(faults);
+  for (std::size_t i = 0; i < faults; ++i) {
+    report.entries[i].fault_index = i;
+    report.entries[i].fault = fault_name(list, i);
+    report.entries[i].covered = true;
+  }
+
+  for (const FaultInstance& instance :
+       instantiate_all(list, simulator.options().memory_size)) {
+    CoverageEntry& entry = report.entries[instance.fault_index];
+    ++entry.instances;
+    if (simulator.detects(test, instance)) {
+      ++entry.detected;
+    } else {
+      entry.covered = false;
+      if (entry.escape_description.empty()) {
+        entry.escape_description = instance.description;
+      }
+    }
+  }
+  // Faults with zero instances (memory too small) count as uncovered.
+  for (CoverageEntry& entry : report.entries) {
+    if (entry.instances == 0) {
+      entry.covered = false;
+      entry.escape_description = "no instances fit the simulated memory";
+    }
+  }
+  return report;
+}
+
+}  // namespace mtg

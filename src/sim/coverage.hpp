@@ -1,0 +1,54 @@
+// Fault coverage evaluation: a march test against a whole fault list.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "march/march_test.hpp"
+#include "sim/simulator.hpp"
+
+namespace mtg {
+
+/// Per-fault coverage outcome.
+struct CoverageEntry {
+  std::size_t fault_index = 0;
+  std::string fault;               ///< fault name
+  std::size_t instances = 0;       ///< concrete instances simulated
+  std::size_t detected = 0;        ///< instances detected
+  bool covered = false;            ///< all instances detected
+  std::string escape_description;  ///< an undetected instance, if any
+};
+
+struct CoverageReport {
+  std::string test_name;
+  std::string list_name;
+  std::size_t test_complexity = 0;
+  std::vector<CoverageEntry> entries;
+
+  std::size_t faults_total() const noexcept { return entries.size(); }
+  std::size_t faults_covered() const;
+  std::size_t instances_total() const;
+  std::size_t instances_detected() const;
+  bool full_coverage() const { return faults_covered() == faults_total(); }
+
+  /// Fault coverage in percent, at fault granularity.
+  double fault_coverage_percent() const;
+  /// Fault coverage in percent, at instance granularity.
+  double instance_coverage_percent() const;
+
+  /// Names of uncovered faults.
+  std::vector<std::string> missed_faults() const;
+
+  /// Multi-line human-readable summary.
+  std::string summary() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const CoverageReport& report);
+
+/// Simulates every instance of every fault of `list` against `test`.
+CoverageReport evaluate_coverage(const FaultSimulator& simulator,
+                                 const MarchTest& test, const FaultList& list);
+
+}  // namespace mtg

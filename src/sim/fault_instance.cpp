@@ -1,0 +1,97 @@
+#include "sim/fault_instance.hpp"
+
+#include "common/error.hpp"
+
+namespace mtg {
+namespace {
+
+/// All strictly ascending k-subsets of {0..n-1}.
+std::vector<std::vector<std::size_t>> ascending_subsets(std::size_t n,
+                                                        std::size_t k) {
+  std::vector<std::vector<std::size_t>> result;
+  if (k == 0 || k > n) return result;
+  std::vector<std::size_t> pick(k);
+  for (std::size_t i = 0; i < k; ++i) pick[i] = i;
+  while (true) {
+    result.push_back(pick);
+    std::size_t i = k;
+    bool advanced = false;
+    while (i > 0) {
+      --i;
+      if (pick[i] != i + n - k) {
+        ++pick[i];
+        for (std::size_t j = i + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return result;
+  }
+}
+
+}  // namespace
+
+std::vector<FaultInstance> instantiate(const SimpleFault& fault, std::size_t n,
+                                       std::size_t fault_index) {
+  std::vector<FaultInstance> result;
+  const std::size_t k = fault.num_cells();
+  require(n >= k, "memory too small for the fault layout");
+  for (const auto& cells : ascending_subsets(n, k)) {
+    const std::size_t v = cells[fault.v_pos];
+    const std::size_t a = fault.a_pos >= 0 ? cells[fault.a_pos] : v;
+    FaultInstance inst;
+    inst.fault_index = fault_index;
+    inst.fps.push_back(BoundFp(fault.fp, a, v));
+    inst.description = fault.name + " @ " + inst.fps[0].to_string();
+    result.push_back(std::move(inst));
+  }
+  return result;
+}
+
+std::vector<FaultInstance> instantiate(const LinkedFault& fault, std::size_t n,
+                                       std::size_t fault_index) {
+  std::vector<FaultInstance> result;
+  const std::size_t k = fault.num_cells();
+  require(n >= k, "memory too small for the fault layout");
+  const LinkedLayout& layout = fault.layout();
+  for (const auto& cells : ascending_subsets(n, k)) {
+    const std::size_t v = cells[layout.v_pos];
+    const std::size_t a1 = layout.a1_pos >= 0 ? cells[layout.a1_pos] : v;
+    const std::size_t a2 = layout.a2_pos >= 0 ? cells[layout.a2_pos] : v;
+    FaultInstance inst;
+    inst.fault_index = fault_index;
+    inst.fps.push_back(BoundFp(fault.fp1(), a1, v));
+    inst.fps.push_back(BoundFp(fault.fp2(), a2, v));
+    inst.description = fault.name() + " @ v=" + std::to_string(v) +
+                       " a1=" + std::to_string(a1) + " a2=" + std::to_string(a2);
+    result.push_back(std::move(inst));
+  }
+  return result;
+}
+
+std::vector<FaultInstance> instantiate_all(const FaultList& list,
+                                           std::size_t n) {
+  std::vector<FaultInstance> result;
+  std::size_t index = 0;
+  for (const SimpleFault& f : list.simple) {
+    auto instances = instantiate(f, n, index++);
+    result.insert(result.end(), instances.begin(), instances.end());
+  }
+  for (const LinkedFault& f : list.linked) {
+    auto instances = instantiate(f, n, index++);
+    result.insert(result.end(), instances.begin(), instances.end());
+  }
+  return result;
+}
+
+std::size_t fault_count(const FaultList& list) {
+  return list.simple.size() + list.linked.size();
+}
+
+std::string fault_name(const FaultList& list, std::size_t index) {
+  require(index < fault_count(list), "fault index out of range");
+  if (index < list.simple.size()) return list.simple[index].name;
+  return list.linked[index - list.simple.size()].name();
+}
+
+}  // namespace mtg

@@ -1,0 +1,48 @@
+// Fault instantiation: binding abstract faults (FP + relative address
+// layout) to concrete addresses of an n-cell memory.
+//
+// A fault model with a k-cell layout yields one instance per strictly
+// ascending assignment of k distinct addresses to its layout positions, so
+// every relative address order the layout describes is exercised at every
+// position in the memory (including the boundary cells, which matters for
+// march address-order corner cases).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fp/fault_list.hpp"
+#include "fp/semantics.hpp"
+
+namespace mtg {
+
+/// A concrete fault: one or two FPs bound to addresses of the simulated
+/// memory.  `fault_index` identifies the originating entry of the fault
+/// list (simple faults first, then linked faults).
+struct FaultInstance {
+  std::vector<BoundFp> fps;
+  std::size_t fault_index = 0;
+  std::string description;
+};
+
+/// Instances of a simple fault on an `n`-cell memory.
+std::vector<FaultInstance> instantiate(const SimpleFault& fault, std::size_t n,
+                                       std::size_t fault_index);
+
+/// Instances of a linked fault on an `n`-cell memory.
+std::vector<FaultInstance> instantiate(const LinkedFault& fault, std::size_t n,
+                                       std::size_t fault_index);
+
+/// Instances of every fault in the list; fault_index follows the list order
+/// (all simple faults, then all linked faults).
+std::vector<FaultInstance> instantiate_all(const FaultList& list,
+                                           std::size_t n);
+
+/// Number of faults in the list (simple + linked) == 1 + max fault_index.
+std::size_t fault_count(const FaultList& list);
+
+/// Name of fault #index in the flattened (simple, then linked) order.
+std::string fault_name(const FaultList& list, std::size_t index);
+
+}  // namespace mtg

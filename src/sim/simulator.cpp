@@ -1,0 +1,158 @@
+#include "sim/simulator.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mtg {
+
+std::string DetectionEvent::to_string() const {
+  std::ostringstream out;
+  out << "element #" << element_index << ", cell " << address << ", op #"
+      << op_index << ": read " << observed << ", expected " << expected;
+  return out.str();
+}
+
+FaultSimulator::FaultSimulator(SimulatorOptions options) : options_(options) {
+  require(options_.memory_size >= 3,
+          "the simulator needs at least 3 cells to host three-cell faults");
+}
+
+std::string FaultSimulator::validity_violation(const MarchTest& test) {
+  // Symbolic fault-free machine: every cell starts unknown ('-').
+  // March elements keep all cells in lock-step, so one symbolic value
+  // suffices per sweep position; we still model cells individually to stay
+  // faithful for exotic hand-written tests.
+  std::vector<Tri> cells(4, Tri::X);  // 4 cells are enough to be faithful
+  for (std::size_t e = 0; e < test.elements().size(); ++e) {
+    const MarchElement& element = test.elements()[e];
+    for (std::size_t cell = 0; cell < cells.size(); ++cell) {
+      for (std::size_t i = 0; i < element.ops().size(); ++i) {
+        const Op op = element.ops()[i];
+        if (is_write(op)) {
+          cells[cell] = to_tri(written_value(op));
+        } else if (is_read(op)) {
+          const auto expected = expected_value(op);
+          if (!expected.has_value()) continue;  // bare read: no claim
+          if (cells[cell] == Tri::X) {
+            return "element #" + std::to_string(e) + " (" +
+                   element.to_string() + "), op #" + std::to_string(i) +
+                   ": reads an expected value from an undetermined cell";
+          }
+          if (to_bit(cells[cell]) != *expected) {
+            return "element #" + std::to_string(e) + " (" +
+                   element.to_string() + "), op #" + std::to_string(i) +
+                   ": expects " + std::string(1, to_char(*expected)) +
+                   " but the fault-free machine holds " +
+                   std::string(1, to_char(cells[cell]));
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
+void FaultSimulator::validate(const MarchTest& test) {
+  const std::string violation = validity_violation(test);
+  require(violation.empty(),
+          "march test '" + test.name() + "' is invalid: " + violation);
+}
+
+std::size_t FaultSimulator::any_order_count(const MarchTest& test) {
+  std::size_t count = 0;
+  for (const MarchElement& e : test.elements()) {
+    if (e.order() == AddressOrder::Any) ++count;
+  }
+  return count;
+}
+
+std::optional<DetectionEvent> FaultSimulator::run_scenario(
+    const MarchTest& test, const FaultInstance& instance, Bit power_on,
+    std::size_t any_order_mask) const {
+  const std::size_t n = options_.memory_size;
+  FaultyMemory faulty(n, instance.fps);
+  faulty.power_on_uniform(power_on);
+  MemoryState good(n, power_on);
+
+  std::size_t any_index = 0;
+  for (std::size_t e = 0; e < test.elements().size(); ++e) {
+    const MarchElement& element = test.elements()[e];
+    AddressOrder order = element.order();
+    if (order == AddressOrder::Any) {
+      order = (any_order_mask >> any_index) & 1u ? AddressOrder::Down
+                                                 : AddressOrder::Up;
+      ++any_index;
+    }
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t address =
+          order == AddressOrder::Up ? step : n - 1 - step;
+      for (std::size_t i = 0; i < element.ops().size(); ++i) {
+        const Op op = element.ops()[i];
+        if (is_write(op)) {
+          const Bit value = written_value(op);
+          good.set(address, value);
+          faulty.write(address, value);
+        } else if (is_read(op)) {
+          const Bit expected = good.get(address);
+          const Bit observed = faulty.read(address);
+          if (observed != expected) {
+            return DetectionEvent{e, address, i, expected, observed};
+          }
+        } else {
+          faulty.wait();
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+DetectionResult FaultSimulator::simulate(const MarchTest& test,
+                                         const FaultInstance& instance) const {
+  const std::size_t any_count = any_order_count(test);
+  require(any_count <= options_.max_any_order_elements,
+          "too many ⇕ elements to enumerate order assignments");
+  const std::size_t combos = std::size_t{1} << any_count;
+
+  DetectionResult result;
+  result.detected = true;
+  std::vector<Bit> power_ons = {Bit::Zero};
+  if (options_.both_power_on_states) power_ons.push_back(Bit::One);
+
+  for (Bit power_on : power_ons) {
+    for (std::size_t mask = 0; mask < combos; ++mask) {
+      const auto event = run_scenario(test, instance, power_on, mask);
+      if (event.has_value()) {
+        if (!result.first_event.has_value()) result.first_event = event;
+      } else {
+        result.detected = false;
+        if (!result.escape_scenario.has_value()) {
+          result.escape_scenario = std::make_pair(power_on, mask);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool FaultSimulator::detects(const MarchTest& test,
+                             const FaultInstance& instance) const {
+  // Fast path of simulate(): bail out on the first escaping scenario.
+  const std::size_t any_count = any_order_count(test);
+  require(any_count <= options_.max_any_order_elements,
+          "too many ⇕ elements to enumerate order assignments");
+  const std::size_t combos = std::size_t{1} << any_count;
+  std::vector<Bit> power_ons = {Bit::Zero};
+  if (options_.both_power_on_states) power_ons.push_back(Bit::One);
+  for (Bit power_on : power_ons) {
+    for (std::size_t mask = 0; mask < combos; ++mask) {
+      if (!run_scenario(test, instance, power_on, mask).has_value()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mtg

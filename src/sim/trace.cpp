@@ -1,0 +1,103 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mtg {
+
+std::string TraceStep::to_string() const {
+  std::ostringstream out;
+  out << "e" << element_index << " @" << address << " " << mtg::to_string(op)
+      << "  good=" << good_state << " faulty=" << faulty_state;
+  if (fired) out << "  [FP fired]";
+  if (mismatch) out << "  [MISMATCH]";
+  return out.str();
+}
+
+std::string Trace::to_string(bool only_interesting) const {
+  std::ostringstream out;
+  out << "trace of " << (test.name().empty() ? test.to_string() : test.name())
+      << " on " << instance << ", power-on " << to_char(power_on) << ":\n";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const TraceStep& step = steps[i];
+    if (only_interesting && !step.fired && !step.mismatch) continue;
+    out << "  [" << i << "] " << step.to_string() << "\n";
+  }
+  out << (detected ? "  => detected at step " + std::to_string(first_mismatch)
+                   : "  => NOT detected")
+      << " (" << total_fires << " FP firings)\n";
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Trace& trace) {
+  return os << trace.to_string();
+}
+
+Trace trace_run(const MarchTest& test, const FaultInstance& instance,
+                std::size_t n, Bit power_on, std::size_t any_order_mask) {
+  require(n >= 1, "trace_run: empty memory");
+  for (const BoundFp& bound : instance.fps) {
+    require(bound.v_cell < n && bound.a_cell < n,
+            "trace_run: fault addresses exceed the memory size");
+  }
+
+  Trace trace;
+  trace.test = test;
+  trace.instance =
+      instance.description.empty() ? "fault-free run" : instance.description;
+  trace.power_on = power_on;
+
+  FaultyMemory faulty(n, instance.fps);
+  faulty.power_on_uniform(power_on);
+  MemoryState good(n, power_on);
+
+  std::size_t any_index = 0;
+  std::size_t fires_before = 0;
+  for (std::size_t e = 0; e < test.elements().size(); ++e) {
+    const MarchElement& element = test.elements()[e];
+    AddressOrder order = element.order();
+    if (order == AddressOrder::Any) {
+      order = (any_order_mask >> any_index) & 1u ? AddressOrder::Down
+                                                 : AddressOrder::Up;
+      ++any_index;
+    }
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t address =
+          order == AddressOrder::Up ? step : n - 1 - step;
+      for (std::size_t i = 0; i < element.ops().size(); ++i) {
+        const Op op = element.ops()[i];
+        TraceStep record;
+        record.element_index = e;
+        record.address = address;
+        record.op_index = i;
+        record.op = op;
+        if (is_write(op)) {
+          const Bit value = written_value(op);
+          good.set(address, value);
+          faulty.write(address, value);
+        } else if (is_read(op)) {
+          const Bit expected = good.get(address);
+          const Bit observed = faulty.read(address);
+          record.mismatch = observed != expected;
+        } else {
+          faulty.wait();
+        }
+        record.fired = faulty.total_fires() > fires_before;
+        fires_before = faulty.total_fires();
+        record.good_state = good.to_string();
+        record.faulty_state = faulty.state().to_string();
+        if (record.mismatch && !trace.detected) {
+          trace.detected = true;
+          trace.first_mismatch = trace.steps.size();
+        }
+        trace.steps.push_back(std::move(record));
+      }
+    }
+  }
+  trace.total_fires = faulty.total_fires();
+  return trace;
+}
+
+}  // namespace mtg

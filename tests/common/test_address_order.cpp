@@ -1,0 +1,36 @@
+#include "common/address_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mtg {
+namespace {
+
+TEST(AddressOrder, Symbols) {
+  EXPECT_EQ(to_symbol(AddressOrder::Up), "⇑");
+  EXPECT_EQ(to_symbol(AddressOrder::Down), "⇓");
+  EXPECT_EQ(to_symbol(AddressOrder::Any), "⇕");
+}
+
+TEST(AddressOrder, Ascii) {
+  EXPECT_EQ(to_ascii(AddressOrder::Up), '^');
+  EXPECT_EQ(to_ascii(AddressOrder::Down), 'v');
+  EXPECT_EQ(to_ascii(AddressOrder::Any), 'c');
+}
+
+TEST(AddressOrder, ParseAllForms) {
+  for (AddressOrder order :
+       {AddressOrder::Up, AddressOrder::Down, AddressOrder::Any}) {
+    EXPECT_EQ(address_order_from_string(to_symbol(order)), order);
+    EXPECT_EQ(address_order_from_string(std::string(1, to_ascii(order))), order);
+  }
+  EXPECT_EQ(address_order_from_string("up"), AddressOrder::Up);
+  EXPECT_EQ(address_order_from_string("down"), AddressOrder::Down);
+  EXPECT_EQ(address_order_from_string("any"), AddressOrder::Any);
+  EXPECT_THROW(address_order_from_string("sideways"), Error);
+  EXPECT_THROW(address_order_from_string(""), Error);
+}
+
+}  // namespace
+}  // namespace mtg

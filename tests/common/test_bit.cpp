@@ -1,0 +1,73 @@
+#include "common/bit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mtg {
+namespace {
+
+TEST(Bit, FlipIsInvolutive) {
+  EXPECT_EQ(flip(Bit::Zero), Bit::One);
+  EXPECT_EQ(flip(Bit::One), Bit::Zero);
+  EXPECT_EQ(flip(flip(Bit::Zero)), Bit::Zero);
+  EXPECT_EQ(flip(flip(Bit::One)), Bit::One);
+}
+
+TEST(Bit, IntConversions) {
+  EXPECT_EQ(to_int(Bit::Zero), 0);
+  EXPECT_EQ(to_int(Bit::One), 1);
+  EXPECT_EQ(bit_from_int(0), Bit::Zero);
+  EXPECT_EQ(bit_from_int(1), Bit::One);
+  EXPECT_THROW(bit_from_int(2), Error);
+  EXPECT_THROW(bit_from_int(-1), Error);
+}
+
+TEST(Bit, CharConversions) {
+  EXPECT_EQ(to_char(Bit::Zero), '0');
+  EXPECT_EQ(to_char(Bit::One), '1');
+  EXPECT_EQ(bit_from_char('0'), Bit::Zero);
+  EXPECT_EQ(bit_from_char('1'), Bit::One);
+  EXPECT_THROW(bit_from_char('x'), Error);
+  EXPECT_THROW(bit_from_char('-'), Error);
+}
+
+TEST(Bit, Streaming) {
+  std::ostringstream out;
+  out << Bit::Zero << Bit::One;
+  EXPECT_EQ(out.str(), "01");
+}
+
+TEST(Tri, LiftAndExtract) {
+  EXPECT_EQ(to_tri(Bit::Zero), Tri::Zero);
+  EXPECT_EQ(to_tri(Bit::One), Tri::One);
+  EXPECT_EQ(to_bit(Tri::Zero), Bit::Zero);
+  EXPECT_EQ(to_bit(Tri::One), Bit::One);
+  EXPECT_THROW(to_bit(Tri::X), Error);
+}
+
+TEST(Tri, Concreteness) {
+  EXPECT_TRUE(is_concrete(Tri::Zero));
+  EXPECT_TRUE(is_concrete(Tri::One));
+  EXPECT_FALSE(is_concrete(Tri::X));
+}
+
+TEST(Tri, DontCareMatchesBoth) {
+  EXPECT_TRUE(matches(Tri::X, Bit::Zero));
+  EXPECT_TRUE(matches(Tri::X, Bit::One));
+  EXPECT_TRUE(matches(Tri::Zero, Bit::Zero));
+  EXPECT_FALSE(matches(Tri::Zero, Bit::One));
+  EXPECT_TRUE(matches(Tri::One, Bit::One));
+  EXPECT_FALSE(matches(Tri::One, Bit::Zero));
+}
+
+TEST(Tri, CharConversions) {
+  EXPECT_EQ(to_char(Tri::X), '-');
+  EXPECT_EQ(tri_from_char('-'), Tri::X);
+  EXPECT_EQ(tri_from_char('0'), Tri::Zero);
+  EXPECT_EQ(tri_from_char('1'), Tri::One);
+  EXPECT_THROW(tri_from_char('?'), Error);
+}
+
+}  // namespace
+}  // namespace mtg

@@ -1,0 +1,65 @@
+#include "common/op.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtg {
+namespace {
+
+TEST(Op, Classification) {
+  EXPECT_TRUE(is_write(Op::W0));
+  EXPECT_TRUE(is_write(Op::W1));
+  EXPECT_FALSE(is_write(Op::R0));
+  EXPECT_TRUE(is_read(Op::R0));
+  EXPECT_TRUE(is_read(Op::R1));
+  EXPECT_TRUE(is_read(Op::R));
+  EXPECT_FALSE(is_read(Op::T));
+  EXPECT_TRUE(is_wait(Op::T));
+  EXPECT_FALSE(is_wait(Op::W0));
+}
+
+TEST(Op, WrittenValue) {
+  EXPECT_EQ(written_value(Op::W0), Bit::Zero);
+  EXPECT_EQ(written_value(Op::W1), Bit::One);
+  EXPECT_THROW(written_value(Op::R0), Error);
+  EXPECT_THROW(written_value(Op::T), Error);
+}
+
+TEST(Op, ExpectedValue) {
+  EXPECT_EQ(expected_value(Op::R0), Bit::Zero);
+  EXPECT_EQ(expected_value(Op::R1), Bit::One);
+  EXPECT_EQ(expected_value(Op::R), std::nullopt);
+  EXPECT_EQ(expected_value(Op::W0), std::nullopt);
+  EXPECT_EQ(expected_value(Op::T), std::nullopt);
+}
+
+TEST(Op, Builders) {
+  EXPECT_EQ(make_write(Bit::Zero), Op::W0);
+  EXPECT_EQ(make_write(Bit::One), Op::W1);
+  EXPECT_EQ(make_read(Bit::Zero), Op::R0);
+  EXPECT_EQ(make_read(Bit::One), Op::R1);
+}
+
+class OpRoundTrip : public ::testing::TestWithParam<Op> {};
+
+TEST_P(OpRoundTrip, StringRoundTrip) {
+  const Op op = GetParam();
+  EXPECT_EQ(op_from_string(to_string(op)), op);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpRoundTrip, ::testing::ValuesIn(kAllOps));
+
+TEST(Op, ParseRejectsUnknownTokens) {
+  EXPECT_THROW(op_from_string("w2"), Error);
+  EXPECT_THROW(op_from_string("read"), Error);
+  EXPECT_THROW(op_from_string(""), Error);
+  EXPECT_THROW(op_from_string("W0"), Error);  // case sensitive
+}
+
+TEST(Op, SequenceFormatting) {
+  const std::vector<Op> ops = {Op::R0, Op::W1, Op::R1};
+  EXPECT_EQ(to_string(ops), "r0,w1,r1");
+  EXPECT_EQ(to_string(std::vector<Op>{}), "");
+}
+
+}  // namespace
+}  // namespace mtg

@@ -1,0 +1,97 @@
+#include "common/state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtg {
+namespace {
+
+TEST(SmallState, DefaultsToAllZero) {
+  const SmallState s(3);
+  EXPECT_EQ(s.num_cells(), 3u);
+  EXPECT_EQ(s.index(), 0u);
+  EXPECT_EQ(s.to_string(), "000");
+}
+
+TEST(SmallState, LowestAddressFirstStringConvention) {
+  // Definition 4: "the first value corresponds to the ... lowest address".
+  SmallState s(3);
+  s.set(0, Bit::One);
+  EXPECT_EQ(s.to_string(), "100");
+  s.set(2, Bit::One);
+  EXPECT_EQ(s.to_string(), "101");
+}
+
+TEST(SmallState, FromStringRoundTrip) {
+  for (const char* text : {"0", "1", "01", "10", "0101", "11111"}) {
+    EXPECT_EQ(SmallState::from_string(text).to_string(), text);
+  }
+  EXPECT_THROW(SmallState::from_string(""), Error);
+  EXPECT_THROW(SmallState::from_string("012"), Error);
+}
+
+TEST(SmallState, IndexIsPackedBits) {
+  // cell i maps to bit i of index().
+  const SmallState s = SmallState::from_string("101");
+  EXPECT_EQ(s.index(), 0b101u);
+  EXPECT_EQ(SmallState(3, 0b011).to_string(), "110");
+}
+
+TEST(SmallState, GetSetFlip) {
+  SmallState s(2);
+  s.set(1, Bit::One);
+  EXPECT_EQ(s.get(0), Bit::Zero);
+  EXPECT_EQ(s.get(1), Bit::One);
+  s.flip(0);
+  EXPECT_EQ(s.get(0), Bit::One);
+  s.flip(0);
+  EXPECT_EQ(s.get(0), Bit::Zero);
+  EXPECT_THROW(s.get(2), Error);
+  EXPECT_THROW(s.set(5, Bit::One), Error);
+}
+
+TEST(SmallState, Uniform) {
+  EXPECT_EQ(SmallState::uniform(4, Bit::One).to_string(), "1111");
+  EXPECT_EQ(SmallState::uniform(4, Bit::Zero).to_string(), "0000");
+}
+
+TEST(SmallState, Comparisons) {
+  EXPECT_EQ(SmallState::from_string("01"), SmallState::from_string("01"));
+  EXPECT_NE(SmallState::from_string("01"), SmallState::from_string("10"));
+  EXPECT_NE(SmallState(2), SmallState(3));
+  EXPECT_LT(SmallState(2, 1), SmallState(2, 2));
+}
+
+TEST(SmallState, RejectsBadSizes) {
+  EXPECT_THROW(SmallState(0), Error);
+  EXPECT_THROW(SmallState(17), Error);
+  EXPECT_THROW(SmallState(2, 4), Error);  // bits out of range
+}
+
+TEST(MemoryState, InitialValue) {
+  const MemoryState zero(4);
+  EXPECT_EQ(zero.to_string(), "0000");
+  const MemoryState one(4, Bit::One);
+  EXPECT_EQ(one.to_string(), "1111");
+  EXPECT_THROW(MemoryState(0), Error);
+}
+
+TEST(MemoryState, SetGetFlipFill) {
+  MemoryState s(3);
+  s.set(1, Bit::One);
+  EXPECT_EQ(s.get(1), Bit::One);
+  EXPECT_EQ(s.to_string(), "010");
+  s.flip(2);
+  EXPECT_EQ(s.to_string(), "011");
+  s.fill(Bit::One);
+  EXPECT_EQ(s.to_string(), "111");
+}
+
+TEST(MemoryState, Equality) {
+  MemoryState a(3), b(3);
+  EXPECT_EQ(a, b);
+  b.set(0, Bit::One);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mtg

@@ -1,0 +1,113 @@
+#include "fp/afp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "fp/fp_library.hpp"
+
+namespace mtg {
+namespace {
+
+// Section 2 of the paper: FP = <0w1;0/1/-> on a 2-cell memory yields
+//   AFP1 = (00, w0_1, 11, 10)  (aggressor = cell 0)
+//   AFP2 = (00, w1_1, 11, 01)  (aggressor = cell 1)
+TEST(Afp, PaperExampleBothInstantiations) {
+  const FaultPrimitive fp =
+      FaultPrimitive::cfds(Bit::Zero, SenseOp::W1, Bit::Zero);
+
+  const auto afp1 = expand_afps(fp, /*a=*/0, /*v=*/1, /*model=*/2);
+  ASSERT_EQ(afp1.size(), 1u);
+  EXPECT_EQ(afp1[0].initial.to_string(), "00");
+  EXPECT_EQ(to_string(afp1[0].sensitize), "w1[0]");
+  EXPECT_EQ(afp1[0].faulty.to_string(), "11");
+  EXPECT_EQ(afp1[0].good.to_string(), "10");
+
+  const auto afp2 = expand_afps(fp, /*a=*/1, /*v=*/0, /*model=*/2);
+  ASSERT_EQ(afp2.size(), 1u);
+  EXPECT_EQ(afp2[0].initial.to_string(), "00");
+  EXPECT_EQ(to_string(afp2[0].sensitize), "w1[1]");
+  EXPECT_EQ(afp2[0].faulty.to_string(), "11");
+  EXPECT_EQ(afp2[0].good.to_string(), "01");
+}
+
+// Definition 5 example: the AFPs above are covered by
+//   TP1 = (00, w0_1, r1_0)  and  TP2 = (00, w1_1, r0_0)
+// (read the victim, expecting the fault-free value).
+TEST(TestPattern, PaperExampleTestPatterns) {
+  const FaultPrimitive fp =
+      FaultPrimitive::cfds(Bit::Zero, SenseOp::W1, Bit::Zero);
+
+  const auto afp1 = expand_afps(fp, 0, 1, 2);
+  const TestPattern tp1 = to_test_pattern(afp1[0]);
+  EXPECT_EQ(tp1.initial.to_string(), "00");
+  EXPECT_EQ(to_string(tp1.ops), "w1[0],r0[1]");
+  EXPECT_EQ(tp1.end_state.to_string(), "11");
+  EXPECT_EQ(tp1.victim, 1u);
+
+  const auto afp2 = expand_afps(fp, 1, 0, 2);
+  const TestPattern tp2 = to_test_pattern(afp2[0]);
+  EXPECT_EQ(to_string(tp2.ops), "w1[1],r0[0]");
+}
+
+TEST(Afp, BackgroundEnumeration) {
+  // A single-cell FP on a 3-cell model leaves two free cells → 4 AFPs.
+  const auto afps = expand_afps(FaultPrimitive::tf(Bit::Zero), 1, 1, 3);
+  EXPECT_EQ(afps.size(), 4u);
+  for (const Afp& afp : afps) {
+    EXPECT_EQ(afp.initial.get(1), Bit::Zero);       // victim state fixed
+    EXPECT_EQ(afp.faulty.get(1), Bit::Zero);        // transition failed
+    EXPECT_EQ(afp.good.get(1), Bit::One);           // fault-free transition
+    EXPECT_EQ(afp.initial.get(0), afp.faulty.get(0));  // background kept
+    EXPECT_EQ(afp.initial.get(2), afp.faulty.get(2));
+  }
+}
+
+TEST(Afp, StateFaultHasEmptySensitization) {
+  const auto afps = expand_afps(FaultPrimitive::sf(Bit::One), 0, 0, 1);
+  ASSERT_EQ(afps.size(), 1u);
+  EXPECT_TRUE(afps[0].sensitize.empty());
+  EXPECT_EQ(afps[0].initial.to_string(), "1");
+  EXPECT_EQ(afps[0].faulty.to_string(), "0");
+  EXPECT_EQ(afps[0].good.to_string(), "1");
+  const TestPattern tp = to_test_pattern(afps[0]);
+  EXPECT_EQ(to_string(tp.ops), "r1[0]");
+}
+
+TEST(Afp, SensitizingReadAnnotatedWithFaultFreeValue) {
+  const auto afps = expand_afps(FaultPrimitive::drdf(Bit::One), 0, 0, 1);
+  ASSERT_EQ(afps.size(), 1u);
+  EXPECT_EQ(to_string(afps[0].sensitize), "r1[0]");
+  const TestPattern tp = to_test_pattern(afps[0]);
+  // Observation read expects the fault-free value (still 1).
+  EXPECT_EQ(to_string(tp.ops), "r1[0],r1[0]");
+}
+
+TEST(Afp, ValidationGuards) {
+  const FaultPrimitive single = FaultPrimitive::tf(Bit::Zero);
+  const FaultPrimitive coupled =
+      FaultPrimitive::cfds(Bit::Zero, SenseOp::W1, Bit::Zero);
+  EXPECT_THROW(expand_afps(single, 0, 1, 2), Error);   // 1-cell FP: a == v
+  EXPECT_THROW(expand_afps(coupled, 1, 1, 2), Error);  // 2-cell FP: a != v
+  EXPECT_THROW(expand_afps(coupled, 0, 2, 2), Error);  // out of range
+}
+
+TEST(Afp, EveryStaticFpExpandsConsistently) {
+  // Property: Gv differs from Fv exactly at the victim (or the FP is a pure
+  // read fault), for every FP in the static library on the 2-cell model.
+  for (const FaultPrimitive& fp : all_static_fps()) {
+    const std::size_t a = fp.is_two_cell() ? 0 : 1;
+    for (const Afp& afp : expand_afps(fp, a, 1, 2)) {
+      for (std::size_t cell = 0; cell < 2; ++cell) {
+        if (cell == afp.victim) continue;
+        EXPECT_EQ(afp.faulty.get(cell), afp.good.get(cell)) << fp.notation();
+      }
+      const bool state_deviates =
+          afp.faulty.get(afp.victim) != afp.good.get(afp.victim);
+      EXPECT_TRUE(state_deviates || fp.is_immediately_detecting())
+          << fp.notation();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mtg

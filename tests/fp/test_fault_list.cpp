@@ -1,0 +1,143 @@
+#include "fp/fault_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mtg {
+namespace {
+
+TEST(FaultList, MaskablePredicate) {
+  EXPECT_TRUE(is_maskable(FaultPrimitive::tf(Bit::Zero)));
+  EXPECT_TRUE(is_maskable(FaultPrimitive::wdf(Bit::One)));
+  EXPECT_TRUE(is_maskable(FaultPrimitive::drdf(Bit::Zero)));
+  EXPECT_TRUE(is_maskable(FaultPrimitive::sf(Bit::Zero)));
+  EXPECT_FALSE(is_maskable(FaultPrimitive::rdf(Bit::Zero)));
+  EXPECT_FALSE(is_maskable(FaultPrimitive::irf(Bit::One)));
+  EXPECT_FALSE(is_maskable(FaultPrimitive::cfrd(Bit::Zero, Bit::One)));
+}
+
+TEST(FaultList, CanMaskPredicate) {
+  // FP2 masks FP1 iff it is sensitized on the faulty victim value and flips
+  // it back: v_state2 = F1 and F2 = not(F1).
+  const FaultPrimitive wdf0 = FaultPrimitive::wdf(Bit::Zero);  // F1 = 1
+  EXPECT_TRUE(can_mask(FaultPrimitive::rdf(Bit::One), wdf0));
+  EXPECT_TRUE(can_mask(FaultPrimitive::wdf(Bit::One), wdf0));
+  EXPECT_TRUE(can_mask(FaultPrimitive::drdf(Bit::One), wdf0));
+  EXPECT_FALSE(can_mask(FaultPrimitive::rdf(Bit::Zero), wdf0));
+  EXPECT_FALSE(can_mask(FaultPrimitive::tf(Bit::One), wdf0));  // F2 = F1
+}
+
+TEST(FaultList, SingleCellEnumerationSnapshot) {
+  // 8 maskable FP1 (SF, TF, WDF, DRDF × both polarities) × 3 operation-
+  // sensitized masker classes (WDF, RDF, DRDF at the faulty value) = 24.
+  // SF as FP2 never survives the chain check: a state fault settles within
+  // the same operation that sensitizes FP1, leaving no deviation to mask.
+  const auto lf1 = enumerate_single_cell_linked_faults();
+  EXPECT_EQ(lf1.size(), 24u);
+
+  std::set<std::string> names;
+  for (const LinkedFault& lf : lf1) {
+    EXPECT_EQ(lf.num_cells(), 1) << lf.name();
+    names.insert(lf.name());
+  }
+  EXPECT_EQ(names.size(), lf1.size());  // no duplicates
+  EXPECT_TRUE(names.count("TF↑→RDF0 [v]"));
+  EXPECT_TRUE(names.count("WDF0→WDF1 [v]"));
+  EXPECT_TRUE(names.count("DRDF0→DRDF1 [v]"));
+  EXPECT_TRUE(names.count("SF1→WDF0 [v]"));
+  // TF as FP2 never satisfies F2 = not(F1) (its fault value equals its
+  // sensitizing state).
+  EXPECT_FALSE(names.count("WDF0→TF↓ [v]"));
+  // SF→SF is excluded.
+  EXPECT_FALSE(names.count("SF0→SF1 [v]"));
+}
+
+TEST(FaultList, TwoCellEnumerationProperties) {
+  const auto lf2 = enumerate_two_cell_linked_faults();
+  EXPECT_GT(lf2.size(), 100u);
+  std::size_t a_below = 0;
+  for (const LinkedFault& lf : lf2) {
+    EXPECT_EQ(lf.num_cells(), 2) << lf.name();
+    EXPECT_TRUE(is_maskable(lf.fp1())) << lf.name();
+    EXPECT_TRUE(can_mask(lf.fp2(), lf.fp1())) << lf.name();
+    if (lf.layout().v_pos == 1) ++a_below;
+  }
+  // Both address layouts are represented symmetrically.
+  EXPECT_EQ(a_below * 2, lf2.size());
+}
+
+TEST(FaultList, ThreeCellEnumerationProperties) {
+  const auto lf3 = enumerate_three_cell_linked_faults();
+  EXPECT_GT(lf3.size(), 500u);
+  for (const LinkedFault& lf : lf3) {
+    EXPECT_EQ(lf.num_cells(), 3) << lf.name();
+    EXPECT_TRUE(lf.fp1().is_two_cell());
+    EXPECT_TRUE(lf.fp2().is_two_cell());
+    EXPECT_NE(lf.layout().a1_pos, lf.layout().a2_pos) << lf.name();
+  }
+}
+
+TEST(FaultList, FaultListTwoIsSingleCellOnly) {
+  const FaultList list = fault_list_2();
+  EXPECT_TRUE(list.simple.empty());
+  EXPECT_EQ(list.linked.size(), 24u);
+  EXPECT_EQ(list.size(), 24u);
+}
+
+TEST(FaultList, FaultListOneContainsAllSizes) {
+  const FaultList list = fault_list_1();
+  std::size_t by_cells[4] = {0, 0, 0, 0};
+  for (const LinkedFault& lf : list.linked) {
+    ++by_cells[lf.num_cells()];
+  }
+  EXPECT_EQ(by_cells[1], 24u);
+  EXPECT_GT(by_cells[2], 0u);
+  EXPECT_GT(by_cells[3], 0u);
+  EXPECT_EQ(list.size(), by_cells[1] + by_cells[2] + by_cells[3]);
+  // Reproducibility snapshot: the constructive enumeration is deterministic.
+  EXPECT_EQ(list.size(), 2736u);
+}
+
+TEST(FaultList, PaperRunningExampleIsInFaultListOne) {
+  const FaultList list = fault_list_1();
+  bool found_equation12 = false;
+  for (const LinkedFault& lf : list.linked) {
+    if (lf.name() == "CFds<0w1;0>→CFds<1w0;1> [a<v]") found_equation12 = true;
+  }
+  EXPECT_TRUE(found_equation12);
+}
+
+TEST(FaultList, EveryLinkedFaultSatisfiesDefinitionSeven) {
+  for (const LinkedFault& lf : fault_list_1().linked) {
+    const LinkCheck check = check_link(lf.fp1(), lf.fp2(), lf.layout());
+    EXPECT_TRUE(check.structurally_linked) << lf.name();
+    EXPECT_TRUE(check.fp1_fired) << lf.name();
+    EXPECT_TRUE(check.fp2_fired) << lf.name();
+    EXPECT_FALSE(lf.fp1().is_immediately_detecting()) << lf.name();
+  }
+}
+
+TEST(FaultList, SimpleStaticFaultListCoversTheWholeFpSpace) {
+  const FaultList list = standard_simple_static_faults();
+  EXPECT_TRUE(list.linked.empty());
+  // 12 single-cell + 36 two-cell × 2 layouts.
+  EXPECT_EQ(list.simple.size(), 12u + 72u);
+  std::set<std::string> names;
+  for (const SimpleFault& f : list.simple) names.insert(f.name);
+  EXPECT_EQ(names.size(), list.simple.size());
+}
+
+TEST(FaultList, SimpleFaultFactoriesValidate) {
+  EXPECT_THROW(SimpleFault::single(FaultPrimitive::cfst(Bit::Zero, Bit::One)),
+               Error);
+  EXPECT_THROW(SimpleFault::coupled(FaultPrimitive::tf(Bit::Zero), true),
+               Error);
+  const SimpleFault f =
+      SimpleFault::coupled(FaultPrimitive::cfst(Bit::Zero, Bit::One), false);
+  EXPECT_EQ(f.a_pos, 1);
+  EXPECT_EQ(f.v_pos, 0);
+}
+
+}  // namespace
+}  // namespace mtg

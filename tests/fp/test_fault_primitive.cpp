@@ -1,0 +1,125 @@
+#include "fp/fault_primitive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mtg {
+namespace {
+
+TEST(FaultPrimitive, SingleCellTaxonomy) {
+  EXPECT_EQ(FaultPrimitive::sf(Bit::Zero).classify(), FpClass::SF);
+  EXPECT_EQ(FaultPrimitive::tf(Bit::Zero).classify(), FpClass::TF);
+  EXPECT_EQ(FaultPrimitive::wdf(Bit::Zero).classify(), FpClass::WDF);
+  EXPECT_EQ(FaultPrimitive::rdf(Bit::Zero).classify(), FpClass::RDF);
+  EXPECT_EQ(FaultPrimitive::drdf(Bit::Zero).classify(), FpClass::DRDF);
+  EXPECT_EQ(FaultPrimitive::irf(Bit::Zero).classify(), FpClass::IRF);
+}
+
+TEST(FaultPrimitive, TwoCellTaxonomy) {
+  EXPECT_EQ(FaultPrimitive::cfst(Bit::Zero, Bit::One).classify(), FpClass::CFst);
+  EXPECT_EQ(FaultPrimitive::cfds(Bit::Zero, SenseOp::W1, Bit::Zero).classify(),
+            FpClass::CFds);
+  EXPECT_EQ(FaultPrimitive::cftr(Bit::One, Bit::Zero).classify(), FpClass::CFtr);
+  EXPECT_EQ(FaultPrimitive::cfwd(Bit::One, Bit::Zero).classify(), FpClass::CFwd);
+  EXPECT_EQ(FaultPrimitive::cfrd(Bit::One, Bit::Zero).classify(), FpClass::CFrd);
+  EXPECT_EQ(FaultPrimitive::cfdr(Bit::One, Bit::Zero).classify(), FpClass::CFdr);
+  EXPECT_EQ(FaultPrimitive::cfir(Bit::One, Bit::Zero).classify(), FpClass::CFir);
+}
+
+TEST(FaultPrimitive, NotationMatchesPaperExamples) {
+  // The paper's running example FP = <0w1;0/1/->.
+  const FaultPrimitive cfds =
+      FaultPrimitive::cfds(Bit::Zero, SenseOp::W1, Bit::Zero);
+  EXPECT_EQ(cfds.notation(), "<0w1;0/1/->");
+  // Disturb coupling fault FP2 of Equation 6: <0w1;1/0/->.
+  EXPECT_EQ(FaultPrimitive::cfds(Bit::Zero, SenseOp::W1, Bit::One).notation(),
+            "<0w1;1/0/->");
+  EXPECT_EQ(FaultPrimitive::tf(Bit::Zero).notation(), "<0w1/0/->");
+  EXPECT_EQ(FaultPrimitive::rdf(Bit::One).notation(), "<1r1/0/0>");
+  EXPECT_EQ(FaultPrimitive::drdf(Bit::Zero).notation(), "<0r0/1/0>");
+  EXPECT_EQ(FaultPrimitive::irf(Bit::Zero).notation(), "<0r0/0/1>");
+  EXPECT_EQ(FaultPrimitive::sf(Bit::One).notation(), "<1/0/->");
+}
+
+TEST(FaultPrimitive, Names) {
+  EXPECT_EQ(FaultPrimitive::tf(Bit::Zero).name(), "TF↑");
+  EXPECT_EQ(FaultPrimitive::tf(Bit::One).name(), "TF↓");
+  EXPECT_EQ(FaultPrimitive::wdf(Bit::One).name(), "WDF1");
+  EXPECT_EQ(FaultPrimitive::cfds(Bit::Zero, SenseOp::Rd, Bit::One).name(),
+            "CFds<0r0;1>");
+}
+
+TEST(FaultPrimitive, ImmediateDetection) {
+  // RDF/IRF (and CFrd/CFir) return a wrong value when sensitized.
+  EXPECT_TRUE(FaultPrimitive::rdf(Bit::Zero).is_immediately_detecting());
+  EXPECT_TRUE(FaultPrimitive::irf(Bit::One).is_immediately_detecting());
+  EXPECT_TRUE(
+      FaultPrimitive::cfrd(Bit::Zero, Bit::One).is_immediately_detecting());
+  EXPECT_TRUE(
+      FaultPrimitive::cfir(Bit::One, Bit::Zero).is_immediately_detecting());
+  // DRDF/CFdr return the correct value (deceptive) — not immediate.
+  EXPECT_FALSE(FaultPrimitive::drdf(Bit::Zero).is_immediately_detecting());
+  EXPECT_FALSE(
+      FaultPrimitive::cfdr(Bit::Zero, Bit::One).is_immediately_detecting());
+  EXPECT_FALSE(FaultPrimitive::tf(Bit::Zero).is_immediately_detecting());
+  EXPECT_FALSE(FaultPrimitive::sf(Bit::Zero).is_immediately_detecting());
+}
+
+TEST(FaultPrimitive, GoodFinalVictimValue) {
+  EXPECT_EQ(FaultPrimitive::tf(Bit::Zero).good_final_victim_value(), Bit::One);
+  EXPECT_EQ(FaultPrimitive::wdf(Bit::One).good_final_victim_value(), Bit::One);
+  EXPECT_EQ(FaultPrimitive::rdf(Bit::Zero).good_final_victim_value(), Bit::Zero);
+  EXPECT_EQ(FaultPrimitive::cfds(Bit::Zero, SenseOp::W1, Bit::One)
+                .good_final_victim_value(),
+            Bit::One);
+}
+
+TEST(FaultPrimitive, StateFaultPredicate) {
+  EXPECT_TRUE(FaultPrimitive::sf(Bit::Zero).is_state_fault());
+  EXPECT_TRUE(FaultPrimitive::cfst(Bit::One, Bit::Zero).is_state_fault());
+  EXPECT_FALSE(FaultPrimitive::tf(Bit::Zero).is_state_fault());
+  EXPECT_FALSE(
+      FaultPrimitive::cfds(Bit::Zero, SenseOp::Rd, Bit::One).is_state_fault());
+}
+
+TEST(FaultPrimitive, AggressorAccessorGuards) {
+  EXPECT_THROW(FaultPrimitive::tf(Bit::Zero).a_state(), Error);
+  EXPECT_EQ(FaultPrimitive::cfst(Bit::One, Bit::Zero).a_state(), Bit::One);
+}
+
+TEST(FaultPrimitive, RejectsNonDeviatingBehaviour) {
+  // "write 1 onto 0 gives 1" is fault-free — not a fault primitive.
+  EXPECT_THROW(
+      FaultPrimitive::single(Bit::Zero, SenseOp::W1, Bit::One), Error);
+  // A read returning the stored value with unchanged state is fault-free.
+  EXPECT_THROW(
+      FaultPrimitive::single(Bit::Zero, SenseOp::Rd, Bit::Zero, Tri::Zero),
+      Error);
+}
+
+TEST(FaultPrimitive, RejectsReadResultWithoutVictimRead) {
+  EXPECT_THROW(
+      FaultPrimitive::single(Bit::Zero, SenseOp::W1, Bit::Zero, Tri::One),
+      Error);
+  // A sensitizing read must specify R.
+  EXPECT_THROW(FaultPrimitive::single(Bit::Zero, SenseOp::Rd, Bit::One), Error);
+}
+
+TEST(FaultPrimitive, RejectsTwoOperations) {
+  EXPECT_THROW(FaultPrimitive::coupled(Bit::Zero, SenseOp::W1, Bit::Zero,
+                                       SenseOp::W0, Bit::One),
+               Error);
+}
+
+TEST(FaultPrimitive, EqualityAndOrdering) {
+  const FaultPrimitive a = FaultPrimitive::tf(Bit::Zero);
+  const FaultPrimitive b = FaultPrimitive::tf(Bit::Zero);
+  const FaultPrimitive c = FaultPrimitive::tf(Bit::One);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c || c < a);
+}
+
+}  // namespace
+}  // namespace mtg

@@ -1,0 +1,70 @@
+#include "fp/fp_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace mtg {
+namespace {
+
+TEST(FpLibrary, SingleCellCountMatchesTaxonomy) {
+  // 12 single-cell static FPs: SF, TF, WDF, RDF, DRDF, IRF × both polarities.
+  EXPECT_EQ(all_single_cell_static_fps().size(), 12u);
+}
+
+TEST(FpLibrary, TwoCellCountMatchesTaxonomy) {
+  // 36 two-cell static FPs: CFst 4, CFds 12, CFtr 4, CFwd 4, CFrd 4,
+  // CFdr 4, CFir 4.
+  EXPECT_EQ(all_two_cell_static_fps().size(), 36u);
+}
+
+TEST(FpLibrary, FullSpaceIsUnionOfBoth) {
+  EXPECT_EQ(all_static_fps().size(), 48u);
+}
+
+TEST(FpLibrary, NoDuplicates) {
+  const auto fps = all_static_fps();
+  std::set<FaultPrimitive> unique(fps.begin(), fps.end());
+  EXPECT_EQ(unique.size(), fps.size());
+}
+
+TEST(FpLibrary, ClassHistogram) {
+  std::map<FpClass, int> histogram;
+  for (const FaultPrimitive& fp : all_static_fps()) {
+    ++histogram[fp.classify()];
+  }
+  EXPECT_EQ(histogram[FpClass::SF], 2);
+  EXPECT_EQ(histogram[FpClass::TF], 2);
+  EXPECT_EQ(histogram[FpClass::WDF], 2);
+  EXPECT_EQ(histogram[FpClass::RDF], 2);
+  EXPECT_EQ(histogram[FpClass::DRDF], 2);
+  EXPECT_EQ(histogram[FpClass::IRF], 2);
+  EXPECT_EQ(histogram[FpClass::CFst], 4);
+  EXPECT_EQ(histogram[FpClass::CFds], 12);
+  EXPECT_EQ(histogram[FpClass::CFtr], 4);
+  EXPECT_EQ(histogram[FpClass::CFwd], 4);
+  EXPECT_EQ(histogram[FpClass::CFrd], 4);
+  EXPECT_EQ(histogram[FpClass::CFdr], 4);
+  EXPECT_EQ(histogram[FpClass::CFir], 4);
+}
+
+TEST(FpLibrary, CfdsSensitizers) {
+  // 0w0, 0w1, 1w0, 1w1, 0r0, 1r1 — six aggressor sensitizers.
+  const auto sensitizers = cfds_aggressor_sensitizers();
+  EXPECT_EQ(sensitizers.size(), 6u);
+  std::set<std::pair<Bit, SenseOp>> unique(sensitizers.begin(),
+                                           sensitizers.end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(FpLibrary, EveryFpHasDistinctNotation) {
+  std::set<std::string> notations;
+  for (const FaultPrimitive& fp : all_static_fps()) {
+    notations.insert(fp.notation());
+  }
+  EXPECT_EQ(notations.size(), 48u);
+}
+
+}  // namespace
+}  // namespace mtg

@@ -1,0 +1,101 @@
+#include "gen/candidates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mtg {
+namespace {
+
+TEST(Candidates, AllElementsWithinLengthBound) {
+  for (const MarchElement& e : enumerate_march_elements(5)) {
+    EXPECT_GE(e.cost(), 1u);
+    EXPECT_LE(e.cost(), 5u);
+  }
+}
+
+TEST(Candidates, BothOrdersPresent) {
+  std::size_t up = 0, down = 0;
+  for (const MarchElement& e : enumerate_march_elements(3)) {
+    if (e.order() == AddressOrder::Up) ++up;
+    if (e.order() == AddressOrder::Down) ++down;
+    EXPECT_NE(e.order(), AddressOrder::Any);
+  }
+  EXPECT_EQ(up, down);
+  EXPECT_GT(up, 0u);
+}
+
+TEST(Candidates, NoTripleRuns) {
+  for (const MarchElement& e : enumerate_march_elements(6)) {
+    const auto& ops = e.ops();
+    for (std::size_t i = 2; i < ops.size(); ++i) {
+      EXPECT_FALSE(ops[i] == ops[i - 1] && ops[i] == ops[i - 2])
+          << e.to_string();
+    }
+  }
+}
+
+TEST(Candidates, ReadsAreValueConsistent) {
+  // Within an element, reads after the first write must match the value the
+  // preceding writes established (no internally-contradictory elements).
+  for (const MarchElement& e : enumerate_march_elements(6)) {
+    std::optional<Bit> value;
+    for (const Op op : e.ops()) {
+      if (is_write(op)) {
+        value = written_value(op);
+      } else if (is_read(op) && value.has_value()) {
+        ASSERT_TRUE(expected_value(op).has_value()) << e.to_string();
+        EXPECT_EQ(*expected_value(op), *value) << e.to_string();
+      }
+    }
+  }
+}
+
+TEST(Candidates, ReadsBeforeFirstWriteShareOneEntryValue) {
+  for (const MarchElement& e : enumerate_march_elements(6)) {
+    std::optional<Bit> entry;
+    for (const Op op : e.ops()) {
+      if (is_write(op)) break;
+      if (is_read(op)) {
+        ASSERT_TRUE(expected_value(op).has_value());
+        if (!entry.has_value()) {
+          entry = expected_value(op);
+        } else {
+          EXPECT_EQ(*entry, *expected_value(op)) << e.to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST(Candidates, NoDuplicates) {
+  std::set<std::pair<int, std::vector<Op>>> seen;
+  for (const MarchElement& e : enumerate_march_elements(5)) {
+    EXPECT_TRUE(
+        seen.insert({static_cast<int>(e.order()), e.ops()}).second)
+        << e.to_string();
+  }
+}
+
+TEST(Candidates, ContainsThePublishedElementShapes) {
+  // The pool must contain the building blocks of March SS / ABL-style tests.
+  std::set<std::string> shapes;
+  for (const MarchElement& e : enumerate_march_elements(7)) {
+    if (e.order() == AddressOrder::Up) shapes.insert(to_string(e.ops()));
+  }
+  EXPECT_TRUE(shapes.count("r0,w1"));
+  EXPECT_TRUE(shapes.count("r0,r0,w0,r0,w1"));            // March SS element
+  EXPECT_TRUE(shapes.count("r0,r0,w0,r0,w1,w1,r1"));      // March ABL element
+  EXPECT_TRUE(shapes.count("w0"));
+  EXPECT_FALSE(shapes.count("r0,r1"));  // contradictory reads are impossible
+}
+
+TEST(Candidates, PoolGrowsMonotonicallyWithLength) {
+  EXPECT_LT(enumerate_march_elements(2).size(),
+            enumerate_march_elements(3).size());
+  EXPECT_LT(enumerate_march_elements(3).size(),
+            enumerate_march_elements(5).size());
+}
+
+}  // namespace
+}  // namespace mtg

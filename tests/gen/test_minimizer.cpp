@@ -1,0 +1,88 @@
+#include "gen/minimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fp/fault_list.hpp"
+#include "march/catalog.hpp"
+#include "march/parser.hpp"
+
+namespace mtg {
+namespace {
+
+std::vector<FaultInstance> instances_for(const FaultList& list, std::size_t n) {
+  return instantiate_all(list, n);
+}
+
+TEST(Minimizer, CoversAllAgreesWithCoverage) {
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  const FaultList list = fault_list_2();
+  const auto instances = instances_for(list, 4);
+  EXPECT_TRUE(covers_all(simulator, march_abl1(), instances));
+  EXPECT_FALSE(covers_all(simulator, mats_plus(), instances));
+}
+
+TEST(Minimizer, CoversAllRejectsInvalidTests) {
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  const MarchTest invalid = parse_march_test("{c(r1)}", "bad");
+  EXPECT_FALSE(covers_all(simulator, invalid, {}));
+}
+
+TEST(Minimizer, RemovesRedundantElements) {
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  const FaultList list = fault_list_2();
+  const auto instances = instances_for(list, 4);
+
+  // ABL1 padded with useless work.
+  MarchTest padded = parse_march_test(
+      "{c(w0); c(w0,r0,r0,w1); c(w1,r1,r1,w0); c(r0,w1); c(r1,w0)}", "padded");
+  ASSERT_TRUE(covers_all(simulator, padded, instances));
+
+  std::vector<std::string> log;
+  const MarchTest minimized = minimize_test(simulator, padded, instances, &log);
+  EXPECT_LT(minimized.complexity(), padded.complexity());
+  EXPECT_LE(minimized.complexity(), march_abl1().complexity());
+  EXPECT_TRUE(covers_all(simulator, minimized, instances));
+  EXPECT_FALSE(log.empty());
+}
+
+TEST(Minimizer, MinimalTestIsAFixpoint) {
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  const FaultList list = fault_list_2();
+  const auto instances = instances_for(list, 4);
+  const MarchTest once = minimize_test(simulator, march_abl1(), instances);
+  const MarchTest twice = minimize_test(simulator, once, instances);
+  EXPECT_EQ(once, twice);
+  EXPECT_TRUE(covers_all(simulator, once, instances));
+}
+
+TEST(Minimizer, PreservesCoverageProperty) {
+  // Property: for several tests and lists, minimization never loses
+  // coverage and never increases complexity.
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  const FaultList list = fault_list_2();
+  const auto instances = instances_for(list, 4);
+  for (const MarchTest& test : {march_abl1(), march_lf1(), march_ss()}) {
+    const MarchTest minimized = minimize_test(simulator, test, instances);
+    EXPECT_LE(minimized.complexity(), test.complexity()) << test.name();
+    EXPECT_TRUE(covers_all(simulator, minimized, instances)) << test.name();
+  }
+}
+
+TEST(Minimizer, DropsOpsInsideElements) {
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  // Cover only the transition faults; the double reads are redundant.
+  FaultList list;
+  list.name = "tf only";
+  list.simple.push_back(SimpleFault::single(FaultPrimitive::tf(Bit::Zero)));
+  list.simple.push_back(SimpleFault::single(FaultPrimitive::tf(Bit::One)));
+  const auto instances = instances_for(list, 4);
+  const MarchTest bloated =
+      parse_march_test("{c(w0); ^(r0,r0,w1,r1,r1); ^(r1,w0,r0)}", "bloated");
+  const MarchTest minimized =
+      minimize_test(simulator, bloated, instances, nullptr);
+  EXPECT_LT(minimized.complexity(), bloated.complexity());
+  EXPECT_TRUE(covers_all(simulator, minimized, instances));
+}
+
+}  // namespace
+}  // namespace mtg

@@ -1,0 +1,67 @@
+#include "march/march_element.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mtg {
+namespace {
+
+TEST(MarchElement, RejectsEmptyOps) {
+  EXPECT_THROW(MarchElement(AddressOrder::Up, {}), Error);
+}
+
+TEST(MarchElement, Cost) {
+  const MarchElement e(AddressOrder::Up, {Op::R0, Op::W1, Op::R1});
+  EXPECT_EQ(e.cost(), 3u);
+}
+
+TEST(MarchElement, FinalValueIsLastWrite) {
+  EXPECT_EQ(MarchElement(AddressOrder::Up, {Op::R0, Op::W1}).final_value(),
+            Bit::One);
+  EXPECT_EQ(MarchElement(AddressOrder::Up, {Op::W1, Op::W0}).final_value(),
+            Bit::Zero);
+  EXPECT_EQ(MarchElement(AddressOrder::Up, {Op::R0, Op::R0}).final_value(),
+            std::nullopt);
+  EXPECT_EQ(MarchElement(AddressOrder::Up, {Op::T}).final_value(), std::nullopt);
+}
+
+TEST(MarchElement, RequiredEntryValueIsFirstReadBeforeWrite) {
+  EXPECT_EQ(
+      MarchElement(AddressOrder::Up, {Op::R1, Op::W0}).required_entry_value(),
+      Bit::One);
+  EXPECT_EQ(
+      MarchElement(AddressOrder::Up, {Op::W0, Op::R0}).required_entry_value(),
+      std::nullopt);  // the write determines the value, no entry requirement
+  EXPECT_EQ(MarchElement(AddressOrder::Up, {Op::R}).required_entry_value(),
+            std::nullopt);  // bare read claims nothing
+  EXPECT_EQ(
+      MarchElement(AddressOrder::Up, {Op::T, Op::R0}).required_entry_value(),
+      Bit::Zero);
+}
+
+TEST(MarchElement, ToStringForms) {
+  const MarchElement e(AddressOrder::Down, {Op::R1, Op::W0});
+  EXPECT_EQ(e.to_string(), "⇓(r1,w0)");
+  EXPECT_EQ(e.to_string(/*ascii=*/true), "v(r1,w0)");
+}
+
+TEST(MarchElement, Equality) {
+  const MarchElement a(AddressOrder::Up, {Op::R0});
+  const MarchElement b(AddressOrder::Up, {Op::R0});
+  const MarchElement c(AddressOrder::Down, {Op::R0});
+  const MarchElement d(AddressOrder::Up, {Op::R1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(MarchElement, AppendAndSetOrder) {
+  MarchElement e(AddressOrder::Up, {Op::R0});
+  e.append(Op::W1);
+  e.set_order(AddressOrder::Any);
+  EXPECT_EQ(e.to_string(), "⇕(r0,w1)");
+}
+
+}  // namespace
+}  // namespace mtg

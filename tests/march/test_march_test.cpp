@@ -1,0 +1,67 @@
+#include "march/march_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "march/parser.hpp"
+
+namespace mtg {
+namespace {
+
+MarchTest simple_test() {
+  return parse_march_test("{c(w0); ^(r0,w1); v(r1,w0)}", "MATS+");
+}
+
+TEST(MarchTest, ComplexityIsPerCellOpCount) {
+  EXPECT_EQ(simple_test().complexity(), 5u);
+  EXPECT_EQ(simple_test().complexity_label(), "5n");
+}
+
+TEST(MarchTest, NameIsMetadataNotIdentity) {
+  MarchTest a = simple_test();
+  MarchTest b = simple_test();
+  b.set_name("other");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.name(), "other");
+}
+
+TEST(MarchTest, ConsistentTestHasNoViolation) {
+  EXPECT_EQ(simple_test().consistency_violation(), "");
+}
+
+TEST(MarchTest, DetectsEntryValueMismatch) {
+  const MarchTest bad = parse_march_test("{c(w0); ^(r1,w0)}");
+  EXPECT_NE(bad.consistency_violation(), "");
+}
+
+TEST(MarchTest, DetectsReadFromUnknownState) {
+  const MarchTest bad = parse_march_test("{c(r0,w0)}");
+  EXPECT_NE(bad.consistency_violation(), "");
+}
+
+TEST(MarchTest, WriteFreeElementPreservesValue) {
+  const MarchTest ok = parse_march_test("{c(w1); ^(r1); v(r1,w0); c(r0)}");
+  EXPECT_EQ(ok.consistency_violation(), "");
+}
+
+TEST(MarchTest, AppendGrowsComplexity) {
+  MarchTest t = simple_test();
+  t.append(MarchElement(AddressOrder::Any, {Op::R0}));
+  EXPECT_EQ(t.complexity(), 6u);
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(MarchTest, ToStringUsesBracesAndSemicolons) {
+  EXPECT_EQ(simple_test().to_string(), "{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}");
+  EXPECT_EQ(simple_test().to_string(/*ascii=*/true),
+            "{c(w0); ^(r0,w1); v(r1,w0)}");
+}
+
+TEST(MarchTest, EmptyTest) {
+  const MarchTest t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.complexity(), 0u);
+  EXPECT_EQ(t.consistency_violation(), "");
+}
+
+}  // namespace
+}  // namespace mtg

@@ -1,0 +1,95 @@
+#include "march/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "march/catalog.hpp"
+
+namespace mtg {
+namespace {
+
+TEST(Parser, ParsesAsciiNotation) {
+  const MarchTest t = parse_march_test("{c(w0); ^(r0,w1); v(r1,w0)}");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.elements()[0].order(), AddressOrder::Any);
+  EXPECT_EQ(t.elements()[1].order(), AddressOrder::Up);
+  EXPECT_EQ(t.elements()[2].order(), AddressOrder::Down);
+  EXPECT_EQ(t.elements()[1].ops(), (std::vector<Op>{Op::R0, Op::W1}));
+}
+
+TEST(Parser, ParsesUnicodeArrows) {
+  const MarchTest t = parse_march_test("{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}");
+  EXPECT_EQ(t.elements()[0].order(), AddressOrder::Any);
+  EXPECT_EQ(t.elements()[1].order(), AddressOrder::Up);
+  EXPECT_EQ(t.elements()[2].order(), AddressOrder::Down);
+}
+
+TEST(Parser, BracesAndSemicolonsAreOptional) {
+  const MarchTest braced = parse_march_test("{c(w0); ^(r0)}");
+  const MarchTest bare = parse_march_test("c(w0) ^(r0)");
+  EXPECT_EQ(braced, bare);
+}
+
+TEST(Parser, WhitespaceTolerant) {
+  const MarchTest t = parse_march_test("  c ( w0 ,  r0 )   ^(r0, w1)  ");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.elements()[0].ops(), (std::vector<Op>{Op::W0, Op::R0}));
+}
+
+TEST(Parser, ParsesWaitAndBareRead) {
+  const MarchTest t = parse_march_test("{c(w0); c(t,r0); c(r)}");
+  EXPECT_EQ(t.elements()[1].ops(), (std::vector<Op>{Op::T, Op::R0}));
+  EXPECT_EQ(t.elements()[2].ops(), (std::vector<Op>{Op::R}));
+}
+
+TEST(Parser, SingleElement) {
+  const MarchElement e = parse_march_element("⇑(r0,w1,r1)");
+  EXPECT_EQ(e.order(), AddressOrder::Up);
+  EXPECT_EQ(e.cost(), 3u);
+  EXPECT_THROW(parse_march_element("^(r0) v(r1)"), Error);
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_march_test(""), Error);
+  EXPECT_THROW(parse_march_test("{}"), Error);
+  EXPECT_THROW(parse_march_test("^()"), Error);
+  EXPECT_THROW(parse_march_test("^(r0"), Error);
+  EXPECT_THROW(parse_march_test("(r0)"), Error);
+  EXPECT_THROW(parse_march_test("^(r2)"), Error);
+  EXPECT_THROW(parse_march_test("^(r0,)"), Error);
+  EXPECT_THROW(parse_march_test("{c(w0)} trailing"), Error);
+}
+
+TEST(Parser, ErrorMessagesCarryOffset) {
+  try {
+    parse_march_test("^(r0,xx)");
+    FAIL() << "expected mtg::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+class CatalogRoundTrip : public ::testing::TestWithParam<MarchTest> {};
+
+TEST_P(CatalogRoundTrip, UnicodeNotationRoundTrips) {
+  const MarchTest& test = GetParam();
+  EXPECT_EQ(parse_march_test(test.to_string()), test);
+}
+
+TEST_P(CatalogRoundTrip, AsciiNotationRoundTrips) {
+  const MarchTest& test = GetParam();
+  EXPECT_EQ(parse_march_test(test.to_string(/*ascii=*/true)), test);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCatalogTests, CatalogRoundTrip, ::testing::ValuesIn(all_catalog_tests()),
+    [](const ::testing::TestParamInfo<MarchTest>& info) {
+      std::string name = info.param.name();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace mtg

@@ -1,0 +1,71 @@
+#include "memory/automaton.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mtg {
+namespace {
+
+TEST(MealyAutomaton, StateCount) {
+  EXPECT_EQ(MealyAutomaton(1).num_states(), 2u);
+  EXPECT_EQ(MealyAutomaton(2).num_states(), 4u);
+  EXPECT_EQ(MealyAutomaton(3).num_states(), 8u);
+  EXPECT_THROW(MealyAutomaton(0), Error);
+}
+
+TEST(MealyAutomaton, WritesUpdateTheAddressedCell) {
+  const MealyAutomaton m(2);
+  const SmallState s00 = SmallState::from_string("00");
+  EXPECT_EQ(m.delta(s00, {0, Op::W1}).to_string(), "10");
+  EXPECT_EQ(m.delta(s00, {1, Op::W1}).to_string(), "01");
+  EXPECT_EQ(m.delta(SmallState::from_string("11"), {0, Op::W0}).to_string(),
+            "01");
+}
+
+TEST(MealyAutomaton, ReadsAndWaitsKeepTheState) {
+  const MealyAutomaton m(2);
+  const SmallState s10 = SmallState::from_string("10");
+  EXPECT_EQ(m.delta(s10, {0, Op::R}), s10);
+  EXPECT_EQ(m.delta(s10, {1, Op::R1}), s10);
+  EXPECT_EQ(m.delta(s10, {0, Op::T}), s10);
+}
+
+TEST(MealyAutomaton, OutputFunction) {
+  const MealyAutomaton m(2);
+  const SmallState s10 = SmallState::from_string("10");
+  EXPECT_EQ(m.lambda(s10, {0, Op::R}), Bit::One);
+  EXPECT_EQ(m.lambda(s10, {1, Op::R}), Bit::Zero);
+  EXPECT_EQ(m.lambda(s10, {0, Op::W1}), std::nullopt);  // '-' for writes
+  EXPECT_EQ(m.lambda(s10, {0, Op::T}), std::nullopt);
+}
+
+TEST(MealyAutomaton, DeltaIsTotalOverStatesAndAlphabet) {
+  const MealyAutomaton m(3);
+  for (std::size_t s = 0; s < m.num_states(); ++s) {
+    const SmallState state(3, static_cast<std::uint16_t>(s));
+    for (const AddressedOp& op : m.input_alphabet()) {
+      const SmallState next = m.delta(state, op);
+      EXPECT_EQ(next.num_cells(), 3u);
+      if (!is_write(op.op)) {
+        EXPECT_EQ(next, state);
+      }
+    }
+  }
+}
+
+TEST(MealyAutomaton, InputAlphabetSize) {
+  // w0, w1, r per cell plus the wait operation t.
+  EXPECT_EQ(MealyAutomaton(2).input_alphabet().size(), 2u * 3u + 1u);
+  EXPECT_EQ(MealyAutomaton(3).input_alphabet().size(), 3u * 3u + 1u);
+}
+
+TEST(MealyAutomaton, RejectsForeignStates) {
+  const MealyAutomaton m(2);
+  EXPECT_THROW(m.delta(SmallState(3), {0, Op::W0}), Error);
+  EXPECT_THROW(m.lambda(SmallState(1), {0, Op::R}), Error);
+  EXPECT_THROW(m.delta(SmallState(2), {5, Op::W0}), Error);
+}
+
+}  // namespace
+}  // namespace mtg

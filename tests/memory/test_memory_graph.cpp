@@ -1,0 +1,82 @@
+#include "memory/memory_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtg {
+namespace {
+
+TEST(MemoryGraph, G0MatchesFigure2Structure) {
+  const MemoryGraph g0 = make_g0();
+  EXPECT_EQ(g0.num_cells(), 2u);
+  EXPECT_EQ(g0.num_vertices(), 4u);
+  // Per state: w0/w1/read on each of two cells plus t = 7 edges.
+  EXPECT_EQ(g0.edges().size(), 4u * 7u);
+}
+
+TEST(MemoryGraph, EdgesFromAState) {
+  const MemoryGraph g0 = make_g0();
+  const auto edges = g0.edges_from(SmallState::from_string("00"));
+  EXPECT_EQ(edges.size(), 7u);
+  // Check one specific Figure 2 edge: 00 --w1[i]/- --> 10.
+  bool found = false;
+  for (const GraphEdge& e : edges) {
+    if (e.op.cell == 0 && e.op.op == Op::W1) {
+      EXPECT_EQ(e.to.to_string(), "10");
+      EXPECT_EQ(e.output, std::nullopt);
+      EXPECT_EQ(e.label(), "w1[0] / -");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MemoryGraph, ReadEdgesAreSelfLoopsWithTheStoredValue) {
+  const MemoryGraph g0 = make_g0();
+  for (const GraphEdge& e : g0.edges()) {
+    if (!is_read(e.op.op)) continue;
+    EXPECT_EQ(e.from, e.to);
+    ASSERT_TRUE(e.output.has_value());
+    EXPECT_EQ(*e.output, e.from.get(e.op.cell));
+    // Reads are annotated with the value they return (Figure 2's "r/0", "r/1").
+    EXPECT_EQ(expected_value(e.op.op), e.output);
+  }
+}
+
+TEST(MemoryGraph, WaitEdgesAreSelfLoops) {
+  const MemoryGraph g0 = make_g0();
+  std::size_t waits = 0;
+  for (const GraphEdge& e : g0.edges()) {
+    if (e.op.op != Op::T) continue;
+    EXPECT_EQ(e.from, e.to);
+    EXPECT_EQ(e.label(), "t / -");
+    ++waits;
+  }
+  EXPECT_EQ(waits, 4u);  // one per state
+}
+
+TEST(MemoryGraph, EveryStateIsFullyConnectedByWrites) {
+  // From any state, writes reach every state (memory is controllable).
+  const MemoryGraph g(3);
+  for (std::size_t s = 0; s < g.num_vertices(); ++s) {
+    const SmallState from(3, static_cast<std::uint16_t>(s));
+    std::size_t distinct_targets = 0;
+    for (const GraphEdge& e : g.edges_from(from)) {
+      if (is_write(e.op.op) && e.to != from) ++distinct_targets;
+    }
+    // Exactly 3 writes flip one cell each (the other 3 are no-ops).
+    EXPECT_EQ(distinct_targets, 3u);
+  }
+}
+
+TEST(MemoryGraph, DotExportContainsAllStatesAndLabels) {
+  const std::string dot = make_g0().to_dot("G0");
+  EXPECT_NE(dot.find("digraph G0"), std::string::npos);
+  for (const char* state : {"\"00\"", "\"01\"", "\"10\"", "\"11\""}) {
+    EXPECT_NE(dot.find(state), std::string::npos);
+  }
+  EXPECT_NE(dot.find("w1[0] / -"), std::string::npos);
+  EXPECT_NE(dot.find("r1[1] / 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtg

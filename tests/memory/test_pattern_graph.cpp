@@ -1,0 +1,108 @@
+#include "memory/pattern_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace mtg {
+namespace {
+
+TEST(PatternGraph, PgcfMatchesFigure4) {
+  const PatternGraph pgcf = make_pgcf();
+  EXPECT_EQ(pgcf.model_cells(), 2u);
+  EXPECT_EQ(pgcf.num_vertices(), 4u);
+  ASSERT_EQ(pgcf.faulty_edges().size(), 2u);
+
+  const FaultyEdge& tp1 = pgcf.faulty_edges()[0];
+  const FaultyEdge& tp2 = pgcf.faulty_edges()[1];
+  // Figure 4's bold edges: 00 --w1[i],r0[j]--> 11 and 11 --w0[i],r1[j]--> 00.
+  EXPECT_EQ(tp1.from.to_string(), "00");
+  EXPECT_EQ(tp1.to.to_string(), "11");
+  EXPECT_EQ(tp1.label(), "w1[0],r0[1]");
+  EXPECT_EQ(tp2.from.to_string(), "11");
+  EXPECT_EQ(tp2.to.to_string(), "00");
+  EXPECT_EQ(tp2.label(), "w0[0],r1[1]");
+  // Figure 3: TP1's target is TP2's source (I2 = Fv1), same pair.
+  EXPECT_EQ(tp1.to, tp2.from);
+  EXPECT_EQ(tp1.pair_id, tp2.pair_id);
+  EXPECT_EQ(tp1.tp_index, 1);
+  EXPECT_EQ(tp2.tp_index, 2);
+}
+
+TEST(PatternGraph, RequiredModelCellsIsTheLargestFault) {
+  FaultList list;
+  list.name = "mixed";
+  list.simple.push_back(SimpleFault::single(FaultPrimitive::tf(Bit::Zero)));
+  EXPECT_EQ(PatternGraph::required_model_cells(list), 1u);
+  list.simple.push_back(
+      SimpleFault::coupled(FaultPrimitive::cfst(Bit::Zero, Bit::One), true));
+  EXPECT_EQ(PatternGraph::required_model_cells(list), 2u);
+  list.linked.push_back(disturb_coupling_linked_fault());
+  EXPECT_EQ(PatternGraph::required_model_cells(list), 2u);
+}
+
+TEST(PatternGraph, VertexCountFollowsThePaperFormula) {
+  // |Vp| = 2^max(#f-cells) — Section 4.
+  FaultList list;
+  list.name = "one simple fault";
+  list.simple.push_back(
+      SimpleFault::coupled(FaultPrimitive::cfst(Bit::Zero, Bit::One), true));
+  EXPECT_EQ(PatternGraph(list).num_vertices(), 4u);
+  EXPECT_EQ(PatternGraph(list, 3).num_vertices(), 8u);
+  EXPECT_THROW(PatternGraph(list, 1), Error);  // too small for a 2-cell fault
+}
+
+TEST(PatternGraph, SimpleFaultEmbeddingCount) {
+  // A single-cell fault on a 2-cell model: 2 cell choices × 2 backgrounds.
+  FaultList list;
+  list.name = "tf";
+  list.simple.push_back(SimpleFault::single(FaultPrimitive::tf(Bit::Zero)));
+  const PatternGraph pg(list, 2);
+  EXPECT_EQ(pg.faulty_edges().size(), 4u);
+}
+
+TEST(PatternGraph, LinkedPairsShareIds) {
+  const PatternGraph pgcf = make_pgcf();
+  std::map<std::size_t, int> pairs;
+  for (const FaultyEdge& e : pgcf.faulty_edges()) ++pairs[e.pair_id];
+  for (const auto& [id, count] : pairs) {
+    EXPECT_EQ(count, 2) << "pair " << id;
+  }
+}
+
+TEST(PatternGraph, DotMarksFaultyEdgesBold) {
+  const std::string dot = make_pgcf().to_dot("PGCF");
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+  EXPECT_NE(dot.find("w1[0],r0[1]"), std::string::npos);
+}
+
+TEST(PatternGraph, LinkedChainInvariantAcrossEmbeddings) {
+  // On a 3-cell model the 2-cell linked CF embeds at 3 cell pairs, each with
+  // a free background cell: 3 × 2 pairs of faulty edges.
+  FaultList list;
+  list.name = "linked CF";
+  list.linked.push_back(disturb_coupling_linked_fault());
+  const PatternGraph pg(list, 3);
+  EXPECT_EQ(pg.faulty_edges().size(), 2u * 3u * 2u);
+  std::map<std::size_t, std::vector<const FaultyEdge*>> by_pair;
+  for (const FaultyEdge& e : pg.faulty_edges()) {
+    by_pair[e.pair_id].push_back(&e);
+  }
+  for (const auto& [id, edges] : by_pair) {
+    ASSERT_EQ(edges.size(), 2u) << "pair " << id;
+    EXPECT_EQ(edges[0]->to, edges[1]->from);  // I2 = Fv1
+    EXPECT_EQ(edges[0]->victim, edges[1]->victim);
+  }
+}
+
+TEST(PatternGraph, DisturbCouplingFactoryMatchesEquation12) {
+  const LinkedFault lf = disturb_coupling_linked_fault();
+  EXPECT_EQ(lf.fp1().notation(), "<0w1;0/1/->");
+  EXPECT_EQ(lf.fp2().notation(), "<1w0;1/0/->");
+  EXPECT_TRUE(lf.fully_masking());
+}
+
+}  // namespace
+}  // namespace mtg

@@ -1,0 +1,93 @@
+#include "sim/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "march/catalog.hpp"
+#include "march/parser.hpp"
+#include "memory/pattern_graph.hpp"
+
+namespace mtg {
+namespace {
+
+FaultList small_list() {
+  FaultList list;
+  list.name = "small";
+  list.simple.push_back(SimpleFault::single(FaultPrimitive::tf(Bit::Zero)));
+  list.simple.push_back(SimpleFault::single(FaultPrimitive::wdf(Bit::Zero)));
+  list.linked.push_back(disturb_coupling_linked_fault());
+  return list;
+}
+
+TEST(Coverage, FullCoverageReport) {
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  const CoverageReport report =
+      evaluate_coverage(simulator, march_sl(), small_list());
+  EXPECT_TRUE(report.full_coverage());
+  EXPECT_EQ(report.faults_total(), 3u);
+  EXPECT_EQ(report.faults_covered(), 3u);
+  EXPECT_DOUBLE_EQ(report.fault_coverage_percent(), 100.0);
+  EXPECT_DOUBLE_EQ(report.instance_coverage_percent(), 100.0);
+  EXPECT_TRUE(report.missed_faults().empty());
+  EXPECT_EQ(report.test_complexity, 41u);
+}
+
+TEST(Coverage, PartialCoverageIdentifiesMisses) {
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  const CoverageReport report =
+      evaluate_coverage(simulator, mats_plus(), small_list());
+  EXPECT_FALSE(report.full_coverage());
+  // MATS+ has no non-transition writes: WDF0 escapes; the linked CF also
+  // escapes one of its orders.
+  const auto missed = report.missed_faults();
+  EXPECT_FALSE(missed.empty());
+  bool wdf_missed = false;
+  for (const std::string& name : missed) {
+    if (name == "WDF0 [v]") wdf_missed = true;
+  }
+  EXPECT_TRUE(wdf_missed);
+  for (const CoverageEntry& entry : report.entries) {
+    if (!entry.covered) {
+      EXPECT_FALSE(entry.escape_description.empty()) << entry.fault;
+    }
+    EXPECT_LE(entry.detected, entry.instances);
+  }
+}
+
+TEST(Coverage, InstanceAccounting) {
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  const CoverageReport report =
+      evaluate_coverage(simulator, march_sl(), small_list());
+  // 4 + 4 single-cell instances, C(4,2) = 6 linked instances.
+  EXPECT_EQ(report.instances_total(), 4u + 4u + 6u);
+  EXPECT_EQ(report.instances_detected(), report.instances_total());
+}
+
+TEST(Coverage, SummaryMentionsTestAndList) {
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  const CoverageReport report =
+      evaluate_coverage(simulator, march_sl(), small_list());
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("March SL"), std::string::npos);
+  EXPECT_NE(summary.find("small"), std::string::npos);
+  EXPECT_NE(summary.find("41n"), std::string::npos);
+}
+
+TEST(Coverage, RejectsInvalidTests) {
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  const MarchTest invalid = parse_march_test("{c(r0,w0)}", "bad");
+  EXPECT_THROW(evaluate_coverage(simulator, invalid, small_list()), Error);
+}
+
+TEST(Coverage, EmptyListIsVacuouslyCovered) {
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  FaultList empty;
+  empty.name = "empty";
+  const CoverageReport report =
+      evaluate_coverage(simulator, mats_plus(), empty);
+  EXPECT_TRUE(report.full_coverage());
+  EXPECT_DOUBLE_EQ(report.fault_coverage_percent(), 100.0);
+}
+
+}  // namespace
+}  // namespace mtg

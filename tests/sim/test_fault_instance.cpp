@@ -1,0 +1,92 @@
+#include "sim/fault_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "memory/pattern_graph.hpp"
+
+namespace mtg {
+namespace {
+
+TEST(FaultInstance, SingleCellFaultInstantiatesAtEveryCell) {
+  const SimpleFault fault = SimpleFault::single(FaultPrimitive::tf(Bit::Zero));
+  const auto instances = instantiate(fault, 5, 0);
+  EXPECT_EQ(instances.size(), 5u);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(instances[i].fps.size(), 1u);
+    EXPECT_EQ(instances[i].fps[0].v_cell, i);
+    EXPECT_EQ(instances[i].fps[0].a_cell, i);
+  }
+}
+
+TEST(FaultInstance, CoupledFaultRespectsLayout) {
+  const SimpleFault below =
+      SimpleFault::coupled(FaultPrimitive::cfst(Bit::Zero, Bit::One), true);
+  for (const FaultInstance& inst : instantiate(below, 4, 0)) {
+    EXPECT_LT(inst.fps[0].a_cell, inst.fps[0].v_cell);
+  }
+  const SimpleFault above =
+      SimpleFault::coupled(FaultPrimitive::cfst(Bit::Zero, Bit::One), false);
+  const auto instances = instantiate(above, 4, 0);
+  EXPECT_EQ(instances.size(), 6u);  // C(4,2)
+  for (const FaultInstance& inst : instances) {
+    EXPECT_GT(inst.fps[0].a_cell, inst.fps[0].v_cell);
+  }
+}
+
+TEST(FaultInstance, LinkedFaultInstanceCount) {
+  const LinkedFault lf = disturb_coupling_linked_fault();  // 2 cells, a<v
+  EXPECT_EQ(instantiate(lf, 6, 3).size(), 15u);  // C(6,2)
+  for (const FaultInstance& inst : instantiate(lf, 6, 3)) {
+    EXPECT_EQ(inst.fault_index, 3u);
+    ASSERT_EQ(inst.fps.size(), 2u);
+    EXPECT_EQ(inst.fps[0].v_cell, inst.fps[1].v_cell);  // shared victim
+    EXPECT_LT(inst.fps[0].a_cell, inst.fps[0].v_cell);  // a < v layout
+  }
+}
+
+TEST(FaultInstance, ThreeCellLayoutOrdering) {
+  const FaultPrimitive fp1 =
+      FaultPrimitive::cfds(Bit::Zero, SenseOp::W1, Bit::Zero);
+  const FaultPrimitive fp2 =
+      FaultPrimitive::cfds(Bit::Zero, SenseOp::W1, Bit::One);
+  // Layout a2 < v < a1.
+  const LinkedFault lf(fp1, fp2, LinkedLayout::three_cell(2, 0, 1));
+  const auto instances = instantiate(lf, 5, 0);
+  EXPECT_EQ(instances.size(), 10u);  // C(5,3)
+  for (const FaultInstance& inst : instances) {
+    const std::size_t a1 = inst.fps[0].a_cell;
+    const std::size_t a2 = inst.fps[1].a_cell;
+    const std::size_t v = inst.fps[0].v_cell;
+    EXPECT_LT(a2, v);
+    EXPECT_LT(v, a1);
+  }
+}
+
+TEST(FaultInstance, MemoryTooSmall) {
+  const LinkedFault lf = disturb_coupling_linked_fault();
+  EXPECT_THROW(instantiate(lf, 1, 0), Error);
+}
+
+TEST(FaultInstance, InstantiateAllIndexing) {
+  FaultList list;
+  list.name = "mixed";
+  list.simple.push_back(SimpleFault::single(FaultPrimitive::tf(Bit::Zero)));
+  list.simple.push_back(SimpleFault::single(FaultPrimitive::tf(Bit::One)));
+  list.linked.push_back(disturb_coupling_linked_fault());
+
+  EXPECT_EQ(fault_count(list), 3u);
+  EXPECT_EQ(fault_name(list, 0), "TF↑ [v]");
+  EXPECT_EQ(fault_name(list, 2), "CFds<0w1;0>→CFds<1w0;1> [a<v]");
+  EXPECT_THROW(fault_name(list, 3), Error);
+
+  const auto instances = instantiate_all(list, 3);
+  EXPECT_EQ(instances.size(), 3u + 3u + 3u);  // 3+3 single-cell, C(3,2)=3
+  for (const FaultInstance& inst : instances) {
+    EXPECT_LT(inst.fault_index, 3u);
+    EXPECT_FALSE(inst.description.empty());
+  }
+}
+
+}  // namespace
+}  // namespace mtg
