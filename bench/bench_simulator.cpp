@@ -1,6 +1,7 @@
 // Fault simulator throughput (the substrate of the paper's Section 6
 // validation, ref. [13]): march execution speed, detection cost per fault
-// instance, and scaling in the simulated memory size.
+// instance, scaling in the simulated memory size, and the packed engine
+// (sim/packed_engine.hpp) against the seed's scalar path.
 #include <benchmark/benchmark.h>
 
 #include "fp/fault_list.hpp"
@@ -12,15 +13,35 @@ namespace {
 
 using namespace mtg;
 
-void BM_MarchSlSingleInstance(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const FaultSimulator simulator(SimulatorOptions{n, true, 10});
-  const MarchTest test = march_sl();
+SimulatorOptions scalar_options(std::size_t n) {
+  SimulatorOptions options;
+  options.memory_size = n;
+  options.use_packed_engine = false;  // the seed's scalar reference path
+  return options;
+}
+
+SimulatorOptions packed_options(std::size_t n, std::size_t threads = 1) {
+  SimulatorOptions options;
+  options.memory_size = n;
+  options.use_packed_engine = true;
+  options.coverage_threads = threads;
+  return options;
+}
+
+FaultInstance linked_cfds_instance(std::size_t n) {
   FaultInstance inst;
   inst.fps.push_back(BoundFp(
       FaultPrimitive::cfds(Bit::Zero, SenseOp::W1, Bit::Zero), 0, n - 1));
   inst.fps.push_back(BoundFp(
       FaultPrimitive::cfds(Bit::One, SenseOp::W0, Bit::One), 0, n - 1));
+  return inst;
+}
+
+void BM_MarchSlSingleInstance(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const FaultSimulator simulator(scalar_options(n));
+  const MarchTest test = march_sl();
+  const FaultInstance inst = linked_cfds_instance(n);
   for (auto _ : state) {
     benchmark::DoNotOptimize(simulator.detects(test, inst));
   }
@@ -28,6 +49,19 @@ void BM_MarchSlSingleInstance(benchmark::State& state) {
   state.counters["ops/call"] = static_cast<double>(41 * n * 4);
 }
 BENCHMARK(BM_MarchSlSingleInstance)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_MarchSlSingleInstancePacked(benchmark::State& state) {
+  // The packed twin of BM_MarchSlSingleInstance: all 4 scenarios in one lane
+  // block, 2 involved cells + no background sweep — cost independent of n.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const FaultSimulator simulator(packed_options(n));
+  const MarchTest test = march_sl();
+  const FaultInstance inst = linked_cfds_instance(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.detects(test, inst));
+  }
+}
+BENCHMARK(BM_MarchSlSingleInstancePacked)->RangeMultiplier(2)->Range(4, 64);
 
 void BM_FaultyMemoryOpThroughput(benchmark::State& state) {
   FaultyMemory memory(8, {BoundFp(FaultPrimitive::cfds(Bit::Zero, SenseOp::W1,
@@ -47,7 +81,7 @@ BENCHMARK(BM_FaultyMemoryOpThroughput);
 
 void BM_CoverageFaultListTwo(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const FaultSimulator simulator(SimulatorOptions{n, true, 10});
+  const FaultSimulator simulator(scalar_options(n));
   const FaultList list = fault_list_2();
   const MarchTest test = march_abl1();
   for (auto _ : state) {
@@ -57,9 +91,23 @@ void BM_CoverageFaultListTwo(benchmark::State& state) {
 }
 BENCHMARK(BM_CoverageFaultListTwo)->DenseRange(4, 8, 2)->Unit(benchmark::kMillisecond);
 
+void BM_CoverageFaultListTwoPacked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const FaultSimulator simulator(packed_options(n));
+  const FaultList list = fault_list_2();
+  const MarchTest test = march_abl1();
+  for (auto _ : state) {
+    const CoverageReport report = evaluate_coverage(simulator, test, list);
+    benchmark::DoNotOptimize(report.entries.data());
+  }
+}
+BENCHMARK(BM_CoverageFaultListTwoPacked)
+    ->DenseRange(4, 8, 2)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_CoverageFaultListOneMarchSl(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const FaultSimulator simulator(SimulatorOptions{n, true, 10});
+  const FaultSimulator simulator(scalar_options(n));
   const FaultList list = fault_list_1();
   const MarchTest test = march_sl();
   for (auto _ : state) {
@@ -73,6 +121,39 @@ BENCHMARK(BM_CoverageFaultListOneMarchSl)
     ->DenseRange(4, 6, 2)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
+
+// -- Large-n coverage: the acceptance benchmark -----------------------------
+// evaluate_coverage at n = 64, March SL × Fault List #2.  The packed run
+// must be ≥ 5× faster than the seed scalar path (it is orders of magnitude
+// faster: 64 cells collapse to ≤ 3 involved cells and all scenarios advance
+// in one lane block; `threads` adds core scaling on multi-core hosts).
+
+void BM_CoverageLargeNScalar(benchmark::State& state) {
+  const FaultSimulator simulator(scalar_options(64));
+  const FaultList list = fault_list_2();
+  const MarchTest test = march_sl();
+  for (auto _ : state) {
+    const CoverageReport report = evaluate_coverage(simulator, test, list);
+    benchmark::DoNotOptimize(report.entries.data());
+  }
+}
+BENCHMARK(BM_CoverageLargeNScalar)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_CoverageLargeNPacked(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const FaultSimulator simulator(packed_options(64, threads));
+  const FaultList list = fault_list_2();
+  const MarchTest test = march_sl();
+  for (auto _ : state) {
+    const CoverageReport report = evaluate_coverage(simulator, test, list);
+    benchmark::DoNotOptimize(report.entries.data());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_CoverageLargeNPacked)
+    ->Arg(1)
+    ->Arg(0)  // 0 → hardware concurrency
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

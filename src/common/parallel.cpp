@@ -1,0 +1,109 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+
+namespace mtg {
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::size_t my_index;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    my_index = next_worker_index_++;
+  }
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      ++in_flight_;
+    }
+    run_chunks(my_index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t worker_index) {
+  for (;;) {
+    const std::size_t begin = next_.fetch_add(chunk_);
+    if (begin >= count_) return;
+    const std::size_t end = std::min(count_, begin + chunk_);
+    try {
+      (*fn_)(worker_index, begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count, std::size_t chunk,
+                              const RangeFn& fn) {
+  if (count == 0) return;
+  chunk = std::max<std::size_t>(1, chunk);
+  if (workers_.empty() || count <= chunk) {
+    // Inline fast path; still serialized so worker index num_workers() is
+    // never handed out concurrently (callers key workspaces off it).
+    std::lock_guard<std::mutex> submit(submit_mutex_);
+    fn(num_workers(), 0, count);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // A worker that woke late for the previous batch may still be inside
+    // run_chunks; the batch parameters must not change under it.
+    batch_done_.wait(lock, [&] { return in_flight_ == 0; });
+    fn_ = &fn;
+    count_ = count;
+    chunk_ = chunk;
+    first_error_ = nullptr;
+    next_.store(0, std::memory_order_relaxed);
+    in_flight_ = 1;  // the caller participates with the top worker index
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  run_chunks(num_workers());
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  --in_flight_;
+  batch_done_.wait(lock, [&] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace mtg

@@ -1,0 +1,71 @@
+// A bounded thread pool with a blocking parallel_for.
+//
+// Work items [0, count) are split into contiguous chunks that workers (and
+// the calling thread, which participates) claim dynamically — simple load
+// balancing without per-item dispatch overhead.  One batch runs at a time;
+// concurrent parallel_for calls on the same pool serialize.  Used by
+// sim/coverage.cpp to spread fault instances across cores.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mtg {
+
+class ThreadPool {
+ public:
+  /// fn(worker_index, begin, end) — worker_index < num_workers() + 1; the
+  /// highest index is the calling thread.  Use it to pick a per-thread
+  /// workspace.
+  using RangeFn = std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+  /// Spawns `num_workers` worker threads (0 is valid: parallel_for then runs
+  /// inline on the caller).
+  explicit ThreadPool(std::size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_workers() const noexcept { return workers_.size(); }
+
+  /// Runs fn over [0, count) in chunks of `chunk` items and blocks until
+  /// every chunk finished.  The first exception thrown by fn is rethrown
+  /// here (remaining chunks still run to completion).
+  void parallel_for(std::size_t count, std::size_t chunk, const RangeFn& fn);
+
+  /// Resolves a requested thread count: 0 → hardware concurrency (≥ 1).
+  static std::size_t resolve_thread_count(std::size_t requested);
+
+ private:
+  void worker_loop();
+  void run_chunks(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  std::mutex submit_mutex_;  // one batch at a time
+
+  // Current batch (guarded by mutex_ except the atomic claim counter).
+  // count_/chunk_/fn_ only change between batches: a new batch cannot start
+  // until every participant of the previous one left run_chunks
+  // (in_flight_ == 0), so participants read them without the lock.
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+  const RangeFn* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t chunk_ = 1;
+  std::size_t in_flight_ = 0;  ///< participants currently inside run_chunks
+  std::size_t next_worker_index_ = 0;
+  std::exception_ptr first_error_;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace mtg

@@ -78,6 +78,22 @@ void MemoryState::fill(Bit value) {
   for (auto& c : cells_) c = static_cast<std::uint8_t>(to_int(value));
 }
 
+std::uint64_t MemoryState::packed_bits() const {
+  require(cells_.size() <= 64, "packed_bits: memory too large");
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i] != 0) bits |= std::uint64_t{1} << i;
+  }
+  return bits;
+}
+
+void MemoryState::set_packed_bits(std::uint64_t bits) {
+  require(cells_.size() <= 64, "set_packed_bits: memory too large");
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] = static_cast<std::uint8_t>((bits >> i) & 1u);
+  }
+}
+
 std::string MemoryState::to_string() const {
   std::string out(cells_.size(), '0');
   for (std::size_t i = 0; i < cells_.size(); ++i) out[i] = to_char(get(i));

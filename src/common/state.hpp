@@ -85,6 +85,10 @@ class MemoryState {
   void flip(std::size_t address);
   void fill(Bit value);
 
+  /// Cell contents packed into bits 0..n-1; memories of at most 64 cells.
+  std::uint64_t packed_bits() const;
+  void set_packed_bits(std::uint64_t bits);
+
   std::string to_string() const;
 
   friend bool operator==(const MemoryState& a, const MemoryState& b) noexcept {

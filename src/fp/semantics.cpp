@@ -72,19 +72,11 @@ std::size_t FaultyMemory::fire_count(std::size_t fault_index) const {
 }
 
 std::uint64_t FaultyMemory::packed_state() const {
-  require(state_.size() <= 64, "packed_state: memory too large");
-  std::uint64_t bits = 0;
-  for (std::size_t i = 0; i < state_.size(); ++i) {
-    if (state_.get(i) == Bit::One) bits |= std::uint64_t{1} << i;
-  }
-  return bits;
+  return state_.packed_bits();
 }
 
 void FaultyMemory::set_packed_state(std::uint64_t bits) {
-  require(state_.size() <= 64, "set_packed_state: memory too large");
-  for (std::size_t i = 0; i < state_.size(); ++i) {
-    state_.set(i, (bits >> i) & 1u ? Bit::One : Bit::Zero);
-  }
+  state_.set_packed_bits(bits);
 }
 
 std::uint32_t FaultyMemory::packed_armed() const {

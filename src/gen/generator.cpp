@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <memory>
 #include <optional>
 #include <set>
 
@@ -10,6 +9,7 @@
 #include "gen/candidates.hpp"
 #include "gen/minimizer.hpp"
 #include "sim/fault_instance.hpp"
+#include "sim/packed_engine.hpp"
 
 namespace mtg {
 namespace {
@@ -17,41 +17,45 @@ namespace {
 /// Greedy coverage engine: keeps, for every fault instance, the state of
 /// every (power-on value, ⇕-order assignment) scenario at the end of the
 /// current test prefix, so candidate march elements are evaluated
-/// incrementally (no prefix re-simulation).
+/// incrementally (no prefix re-simulation).  Scenarios live in the packed
+/// engine's 64-bit lane blocks: one run_element call advances every scenario
+/// of an instance at once, over its involved cells only.
 class GreedyEngine {
  public:
   GreedyEngine(std::size_t memory_size, std::vector<FaultInstance> instances,
-               const MarchTest& prefix)
-      : n_(memory_size), instances_(std::move(instances)) {
-    const std::size_t any_count = FaultSimulator::any_order_count(prefix);
-    require(any_count <= 10, "too many ⇕ elements in the generation prefix");
-    const std::size_t combos = std::size_t{1} << any_count;
+               const MarchTest& prefix, bool both_power_on_states)
+      : instances_(std::move(instances)) {
+    const CompiledTest compiled = compile_march_test(prefix);
+    require(compiled.any_count <= 10,
+            "too many ⇕ elements in the generation prefix");
+    const std::size_t combos = std::size_t{1} << compiled.any_count;
+    const std::size_t total = (both_power_on_states ? 2 : 1) * combos;
 
     items_.reserve(instances_.size());
     for (const FaultInstance& inst : instances_) {
+      require_addresses_fit(inst, memory_size);
+      // Unlike the simulator entry points, the greedy engine has no scalar
+      // fallback: reject oversized instances loudly at entry.
+      require(PackedFaultSim::supports(inst),
+              "the greedy engine supports at most " +
+                  std::to_string(PackedFaultSim::kMaxFps) +
+                  " bound FPs per fault instance");
       Item item;
       item.instance = &inst;
-      item.memory = std::make_unique<FaultyMemory>(n_, inst.fps);
-      for (Bit power_on : {Bit::Zero, Bit::One}) {
-        for (std::size_t mask = 0; mask < combos; ++mask) {
-          Scenario s;
-          item.memory->power_on_uniform(power_on);
-          s.faulty_bits = item.memory->packed_state();
-          s.armed = item.memory->packed_armed();
-          s.good_bits = power_on == Bit::One ? all_ones() : 0;
-          s.detected = false;
-          std::size_t any_index = 0;
-          for (const MarchElement& element : prefix.elements()) {
-            AddressOrder order = element.order();
-            if (order == AddressOrder::Any) {
-              order = (mask >> any_index) & 1u ? AddressOrder::Down
-                                               : AddressOrder::Up;
-              ++any_index;
-            }
-            if (run_element(item, s, element, order, /*commit=*/true)) break;
-          }
-          item.scenarios.push_back(s);
+      item.sim = PackedFaultSim(inst);
+      for (std::size_t base = 0; base < total; base += 64) {
+        PackedFaultSim::Lanes lanes;
+        item.sim.power_on_block(lanes, base, total, combos,
+                                both_power_on_states);
+        for (std::size_t e = 0; e < prefix.elements().size(); ++e) {
+          const MarchElement& element = prefix.elements()[e];
+          item.sim.run_element(lanes, element, compiled.traces[e],
+                               element_down_word(element,
+                                                 compiled.any_ordinal[e], base,
+                                                 combos));
+          if (lanes.detected == lanes.active) break;
         }
+        item.blocks.push_back(lanes);
       }
       item.done = all_detected(item);
       items_.push_back(std::move(item));
@@ -85,7 +89,9 @@ class GreedyEngine {
     std::size_t count = 0;
     for (const Item& item : items_) {
       if (item.done) continue;
-      for (const Scenario& s : item.scenarios) count += s.detected ? 0 : 1;
+      for (const PackedFaultSim::Lanes& block : item.blocks) {
+        count += lane_popcount(block.active & ~block.detected);
+      }
     }
     return count;
   }
@@ -94,119 +100,69 @@ class GreedyEngine {
   /// pairs it newly detects.  Scenario granularity matters: an element can
   /// make progress on one power-on polarity only (the complementary
   /// polarity being handled by a later element), which instance-level
-  /// counting would miss and stall on.
+  /// counting would miss and stall on.  ⇕ candidates are evaluated in their
+  /// ⇑ reading (as the scalar engine did); certification re-resolves ⇕
+  /// orders exactly.
   ///
   /// `abort_below(g, remaining)` lets the caller prune hopeless candidates:
   /// it receives the gain so far and the number of unscanned scenarios and
   /// returns true to abandon the evaluation (result is then a lower bound).
   template <typename AbortFn>
-  std::size_t gain(const MarchElement& candidate, AbortFn abort_below) {
+  std::size_t gain(const MarchElement& candidate, const ElementTrace& trace,
+                   AbortFn abort_below) {
+    const std::uint64_t down =
+        candidate.order() == AddressOrder::Down ? ~std::uint64_t{0} : 0;
     std::size_t g = 0;
     std::size_t remaining = undetected_scenarios();
     for (Item& item : items_) {
       if (item.done) continue;
-      for (Scenario& s : item.scenarios) {
-        if (s.detected) continue;
-        --remaining;
-        Scenario trial = s;  // plain-data copy
-        if (run_element(item, trial, candidate, candidate.order(),
-                        /*commit=*/false)) {
-          ++g;
-        } else if (abort_below(g, remaining)) {
-          return g;
-        }
+      for (const PackedFaultSim::Lanes& block : item.blocks) {
+        const std::size_t undetected =
+            lane_popcount(block.active & ~block.detected);
+        if (undetected == 0) continue;
+        remaining -= undetected;
+        PackedFaultSim::Lanes trial = block;  // plain-data copy
+        const std::size_t newly = lane_popcount(
+            item.sim.run_element(trial, candidate, trace, down));
+        g += newly;
+        // Match the scalar engine's abort placement: only after a failure.
+        // A candidate that detects everything must return its exact gain,
+        // or it could lose the score-tie g tie-break it deserves to win.
+        if (newly < undetected && abort_below(g, remaining)) return g;
       }
     }
     return g;
   }
 
   /// Appends the candidate to the tracked prefix state.
-  void commit(const MarchElement& candidate) {
+  void commit(const MarchElement& candidate, const ElementTrace& trace) {
+    const std::uint64_t down =
+        candidate.order() == AddressOrder::Down ? ~std::uint64_t{0} : 0;
     for (Item& item : items_) {
       if (item.done) continue;
-      for (Scenario& s : item.scenarios) {
-        if (s.detected) continue;
-        run_element(item, s, candidate, candidate.order(), /*commit=*/true);
+      for (PackedFaultSim::Lanes& block : item.blocks) {
+        if ((block.active & ~block.detected) == 0) continue;  // fully detected
+        item.sim.run_element(block, candidate, trace, down);
       }
       item.done = all_detected(item);
     }
   }
 
  private:
-  struct Scenario {
-    std::uint64_t faulty_bits = 0;
-    std::uint64_t good_bits = 0;
-    std::uint32_t armed = 0;
-    bool detected = false;
-  };
   struct Item {
     const FaultInstance* instance = nullptr;
-    std::unique_ptr<FaultyMemory> memory;  // scratch machine for this fault set
-    std::vector<Scenario> scenarios;
+    PackedFaultSim sim;  ///< the instance compiled to involved-cell slots
+    std::vector<PackedFaultSim::Lanes> blocks;  ///< scenario lane state
     bool done = false;
   };
 
-  std::uint64_t all_ones() const {
-    return n_ >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n_) - 1);
-  }
-
   static bool all_detected(const Item& item) {
-    for (const Scenario& s : item.scenarios) {
-      if (!s.detected) return false;
+    for (const PackedFaultSim::Lanes& block : item.blocks) {
+      if ((block.active & ~block.detected) != 0) return false;
     }
     return true;
   }
 
-  /// Runs one march element from the scenario state.  Returns true on
-  /// detection.  With commit=true the scenario is updated (state advance or
-  /// detected flag); with commit=false the scenario is left untouched
-  /// (caller passes a copy).
-  bool run_element(Item& item, Scenario& s, const MarchElement& element,
-                   AddressOrder order, bool commit) {
-    FaultyMemory& memory = *item.memory;
-    memory.set_packed_state(s.faulty_bits);
-    memory.set_packed_armed(s.armed);
-    std::uint64_t good = s.good_bits;
-    bool detected = false;
-
-    for (std::size_t step = 0; step < n_ && !detected; ++step) {
-      const std::size_t address =
-          order == AddressOrder::Down ? n_ - 1 - step : step;
-      for (const Op op : element.ops()) {
-        if (is_write(op)) {
-          const Bit value = written_value(op);
-          if (value == Bit::One) {
-            good |= std::uint64_t{1} << address;
-          } else {
-            good &= ~(std::uint64_t{1} << address);
-          }
-          memory.write(address, value);
-        } else if (is_read(op)) {
-          const Bit expected =
-              (good >> address) & 1u ? Bit::One : Bit::Zero;
-          if (memory.read(address) != expected) {
-            detected = true;
-            break;
-          }
-        } else {
-          memory.wait();
-        }
-      }
-    }
-
-    if (commit) {
-      if (detected) {
-        s.detected = true;
-      } else {
-        s.faulty_bits = memory.packed_state();
-        s.armed = memory.packed_armed();
-        s.good_bits = good;
-      }
-    }
-    return detected;
-  }
-
-  std::size_t n_;
   std::vector<FaultInstance> instances_;
   std::vector<Item> items_;
 };
@@ -231,13 +187,22 @@ std::set<std::size_t> greedy_cover(GreedyEngine& engine,
   std::set<std::size_t> uncoverable;
   std::size_t stalls_in_a_row = 0;
 
+  // Element traces are order-independent; compile the pool's once.
+  std::vector<ElementTrace> pool_traces;
+  pool_traces.reserve(pool.size());
+  for (const MarchElement& candidate : pool) {
+    pool_traces.push_back(compile_element_trace(candidate));
+  }
+
   while (engine.undetected_instances() > 0 &&
          stats.greedy_rounds < options.max_rounds) {
     const MarchElement* best = nullptr;
+    const ElementTrace* best_trace = nullptr;
     std::size_t best_gain = 0;
     double best_score = 0.0;
 
-    for (const MarchElement& candidate : pool) {
+    for (std::size_t c = 0; c < pool.size(); ++c) {
+      const MarchElement& candidate = pool[c];
       if (auto entry = candidate.required_entry_value()) {
         if (!current_final.has_value() || *entry != *current_final) continue;
       }
@@ -245,7 +210,8 @@ std::set<std::size_t> greedy_cover(GreedyEngine& engine,
       // scenario cannot beat the best score seen so far.
       const double cost = static_cast<double>(candidate.cost());
       const std::size_t g = engine.gain(
-          candidate, [&](std::size_t so_far, std::size_t remaining) {
+          candidate, pool_traces[c],
+          [&](std::size_t so_far, std::size_t remaining) {
             return static_cast<double>(so_far + remaining) / cost <= best_score;
           });
       if (g == 0) continue;
@@ -257,6 +223,7 @@ std::set<std::size_t> greedy_cover(GreedyEngine& engine,
             (g == best_gain && candidate.cost() < best->cost())));
       if (better) {
         best = &candidate;
+        best_trace = &pool_traces[c];
         best_gain = g;
         best_score = score;
       }
@@ -272,7 +239,7 @@ std::set<std::size_t> greedy_cover(GreedyEngine& engine,
         const MarchElement bridge(AddressOrder::Up,
                                   {make_write(flip(*current_final))});
         test.append(bridge);
-        engine.commit(bridge);
+        engine.commit(bridge, compile_element_trace(bridge));
         current_final = flip(*current_final);
         ++stalls_in_a_row;
         ++stats.greedy_rounds;
@@ -290,7 +257,7 @@ std::set<std::size_t> greedy_cover(GreedyEngine& engine,
 
     stalls_in_a_row = 0;
     test.append(*best);
-    engine.commit(*best);
+    engine.commit(*best, *best_trace);
     if (auto v = best->final_value()) current_final = v;
     ++stats.greedy_rounds;
     stats.log.push_back("appended " + best->to_string() + " (gain " +
@@ -330,7 +297,8 @@ GenerationResult generate_march_test(const FaultList& list,
   stats.working_instances = working.size();
   std::set<std::size_t> uncoverable;
   {
-    GreedyEngine engine(options.working_memory_size, working, test);
+    GreedyEngine engine(options.working_memory_size, working, test,
+                        options.both_power_on_states);
     stats.log.push_back("phase A: " + std::to_string(working.size()) +
                         " instances at n=" +
                         std::to_string(options.working_memory_size));
@@ -340,18 +308,23 @@ GenerationResult generate_march_test(const FaultList& list,
   lap("phase A (greedy)");
 
   // -- Phase B: certification loop (CEGIS) ------------------------------
-  const FaultSimulator cert_sim(
-      SimulatorOptions{options.certify_memory_size, true, 10});
+  const FaultSimulator cert_sim(SimulatorOptions{
+      options.certify_memory_size, options.both_power_on_states, 10});
   const std::vector<FaultInstance> cert_instances =
       instantiate_all(list, options.certify_memory_size);
   stats.certify_instances = cert_instances.size();
 
   auto certify_and_extend = [&]() {
     for (std::size_t iter = 0; iter < options.max_certify_iterations; ++iter) {
+      // The test is fixed within an iteration: compile it once instead of
+      // recompiling per detects() call.
+      const CompiledTest compiled = compile_march_test(test);
       std::vector<FaultInstance> missed;
       for (const FaultInstance& instance : cert_instances) {
         if (uncoverable.count(instance.fault_index) > 0) continue;
-        if (!cert_sim.detects(test, instance)) missed.push_back(instance);
+        if (!cert_sim.detects_compiled(test, compiled, instance)) {
+          missed.push_back(instance);
+        }
       }
       if (missed.empty()) return;
       ++stats.certify_iterations;
@@ -359,7 +332,8 @@ GenerationResult generate_march_test(const FaultList& list,
                           std::to_string(missed.size()) +
                           " escaped instances at n=" +
                           std::to_string(options.certify_memory_size));
-      GreedyEngine engine(options.certify_memory_size, std::move(missed), test);
+      GreedyEngine engine(options.certify_memory_size, std::move(missed), test,
+                          options.both_power_on_states);
       auto stalled = greedy_cover(engine, pool, test, options, stats);
       uncoverable.insert(stalled.begin(), stalled.end());
     }
@@ -370,8 +344,8 @@ GenerationResult generate_march_test(const FaultList& list,
   // -- Phase C: redundancy elimination ----------------------------------
   stats.complexity_before_minimize = test.complexity();
   if (options.minimize) {
-    const FaultSimulator min_sim(
-        SimulatorOptions{options.minimize_memory_size, true, 10});
+    const FaultSimulator min_sim(SimulatorOptions{
+        options.minimize_memory_size, options.both_power_on_states, 10});
     std::vector<FaultInstance> min_instances;
     for (FaultInstance& instance :
          instantiate_all(list, options.minimize_memory_size)) {

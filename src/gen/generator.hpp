@@ -52,6 +52,10 @@ struct GeneratorOptions {
   std::size_t max_certify_iterations = 6;
   /// Run the redundancy minimizer.
   bool minimize = true;
+  /// Require detection under both power-on contents (all-0 and all-1), like
+  /// SimulatorOptions::both_power_on_states; applies to the greedy engine
+  /// and the certification/minimization simulators alike.
+  bool both_power_on_states = true;
 };
 
 struct GenerationStats {

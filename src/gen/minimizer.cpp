@@ -5,10 +5,7 @@ namespace mtg {
 bool covers_all(const FaultSimulator& simulator, const MarchTest& test,
                 const std::vector<FaultInstance>& instances) {
   if (!FaultSimulator::validity_violation(test).empty()) return false;
-  for (const FaultInstance& instance : instances) {
-    if (!simulator.detects(test, instance)) return false;
-  }
-  return true;
+  return simulator.detects_all(test, instances);
 }
 
 MarchTest minimize_test(const FaultSimulator& simulator, const MarchTest& test,

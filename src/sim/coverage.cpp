@@ -4,6 +4,9 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/parallel.hpp"
+#include "sim/packed_engine.hpp"
+
 namespace mtg {
 
 std::size_t CoverageReport::faults_covered() const {
@@ -85,16 +88,55 @@ CoverageReport evaluate_coverage(const FaultSimulator& simulator,
     report.entries[i].covered = true;
   }
 
-  for (const FaultInstance& instance :
-       instantiate_all(list, simulator.options().memory_size)) {
-    CoverageEntry& entry = report.entries[instance.fault_index];
+  const std::vector<FaultInstance> instances =
+      instantiate_all(list, simulator.options().memory_size);
+  std::vector<std::uint8_t> detected(instances.size(), 0);
+
+  if (simulator.options().use_packed_engine) {
+    // Packed fast path: compile the test once (shared good-machine trace and
+    // ⇕ numbering), then spread the instances over a bounded thread pool.
+    // Per-instance state is stack-only (PackedFaultSim + lane blocks), so
+    // workers share nothing but the compiled test and the verdict array.
+    const CompiledTest compiled = compile_march_test(test);
+    const auto evaluate = [&](std::size_t, std::size_t begin,
+                              std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        detected[i] = simulator.detects_compiled(test, compiled, instances[i]);
+      }
+    };
+    const std::size_t chunk = 16;
+    const std::size_t threads = ThreadPool::resolve_thread_count(
+        simulator.options().coverage_threads);
+    // The caller participates, so the pool only needs enough workers to
+    // cover the remaining chunks; tiny lists skip pool construction (and
+    // its thread create/join cost) entirely.
+    const std::size_t workers = std::min(
+        threads - 1, instances.size() / chunk);
+    if (threads <= 1 || workers == 0) {
+      evaluate(0, 0, instances.size());
+    } else {
+      ThreadPool pool(workers);
+      pool.parallel_for(instances.size(), chunk, evaluate);
+    }
+  } else {
+    // Scalar reference path (sequential — the benchmarks' seed baseline).
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      detected[i] = simulator.detects_scalar(test, instances[i]);
+    }
+  }
+
+  // Deterministic aggregation in instance order, regardless of the thread
+  // schedule: counts and the first escaping instance per fault match the
+  // sequential scalar path bit for bit.
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    CoverageEntry& entry = report.entries[instances[i].fault_index];
     ++entry.instances;
-    if (simulator.detects(test, instance)) {
+    if (detected[i] != 0) {
       ++entry.detected;
     } else {
       entry.covered = false;
       if (entry.escape_description.empty()) {
-        entry.escape_description = instance.description;
+        entry.escape_description = instances[i].description;
       }
     }
   }

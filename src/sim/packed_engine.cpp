@@ -1,0 +1,370 @@
+#include "sim/packed_engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mtg {
+namespace {
+
+constexpr std::uint64_t kAllLanes = ~std::uint64_t{0};
+
+/// kAlternating[j]: bit l set ⇔ (l >> j) & 1 — the ⇓-lane pattern of the
+/// j-th ⇕ element for j < 6 (the pattern repeats within every 64-aligned
+/// block because 2^j divides 64).
+constexpr std::uint64_t kAlternating[6] = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull,
+};
+
+}  // namespace
+
+ElementTrace compile_element_trace(const MarchElement& element) {
+  ElementTrace trace;
+  trace.pre.reserve(element.ops().size());
+  TraceVal current = TraceVal::Prev;
+  for (const Op op : element.ops()) {
+    trace.pre.push_back(current);
+    if (is_write(op)) {
+      current = written_value(op) == Bit::One ? TraceVal::One : TraceVal::Zero;
+    }
+  }
+  trace.final_value = current;
+  return trace;
+}
+
+CompiledTest compile_march_test(const MarchTest& test) {
+  CompiledTest compiled;
+  compiled.traces.reserve(test.elements().size());
+  compiled.any_ordinal.reserve(test.elements().size());
+  for (const MarchElement& element : test.elements()) {
+    compiled.traces.push_back(compile_element_trace(element));
+    if (element.order() == AddressOrder::Any) {
+      compiled.any_ordinal.push_back(static_cast<int>(compiled.any_count++));
+    } else {
+      compiled.any_ordinal.push_back(-1);
+    }
+  }
+  require(compiled.any_count < 32,
+          "too many ⇕ elements for packed scenario enumeration");
+  return compiled;
+}
+
+std::uint64_t scenario_active_word(std::size_t base, std::size_t total) {
+  if (base >= total) return 0;
+  const std::size_t lanes = std::min<std::size_t>(64, total - base);
+  return lanes == 64 ? kAllLanes : ((std::uint64_t{1} << lanes) - 1);
+}
+
+std::uint64_t scenario_power1_word(std::size_t base, std::size_t combos) {
+  // Lane l powers on all-1 ⇔ base + l >= combos (power-on–major order).
+  if (base >= combos) return kAllLanes;
+  const std::size_t offset = combos - base;
+  return offset >= 64 ? 0 : (kAllLanes << offset);
+}
+
+std::uint64_t scenario_down_word(std::size_t base, std::size_t combos,
+                                 std::size_t ordinal) {
+  // Lane l runs ⇓ ⇔ bit `ordinal` of (base + l) mod combos.  `base` is
+  // 64-aligned, so for ordinal < 6 the pattern is position-independent and
+  // for ordinal >= 6 it is constant across the block.
+  if (ordinal < 6) return kAlternating[ordinal];
+  return ((base % combos) >> ordinal) & 1u ? kAllLanes : 0;
+}
+
+std::uint64_t element_down_word(const MarchElement& element, int any_ordinal,
+                                std::size_t base, std::size_t combos) {
+  switch (element.order()) {
+    case AddressOrder::Any:
+      return scenario_down_word(base, combos,
+                                static_cast<std::size_t>(any_ordinal));
+    case AddressOrder::Down:
+      return kAllLanes;
+    case AddressOrder::Up:
+    default:
+      return 0;
+  }
+}
+
+std::size_t lane_popcount(std::uint64_t word) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<std::size_t>(__builtin_popcountll(word));
+#else
+  std::size_t count = 0;
+  while (word != 0) {
+    word &= word - 1;
+    ++count;
+  }
+  return count;
+#endif
+}
+
+std::size_t lowest_lane(std::uint64_t word) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<std::size_t>(__builtin_ctzll(word));
+#else
+  std::size_t lane = 0;
+  while (((word >> lane) & 1u) == 0) ++lane;
+  return lane;
+#endif
+}
+
+void require_addresses_fit(const FaultInstance& instance, std::size_t n) {
+  for (const BoundFp& bound : instance.fps) {
+    require(bound.v_cell < n && bound.a_cell < n,
+            "bound fault addresses exceed the memory size");
+  }
+}
+
+PackedFaultSim::PackedFaultSim(const FaultInstance& instance) {
+  require(supports(instance),
+          "fault instance has too many bound FPs for the packed engine");
+  // Collect the involved cells, address-ascending, deduplicated.
+  std::array<std::size_t, kMaxSlots> addresses{};
+  std::size_t count = 0;
+  for (const BoundFp& bound : instance.fps) {
+    addresses[count++] = bound.v_cell;
+    addresses[count++] = bound.a_cell;  // == v_cell for single-cell FPs
+  }
+  std::sort(addresses.begin(), addresses.begin() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (num_slots_ == 0 || cells_[num_slots_ - 1] != addresses[i]) {
+      cells_[num_slots_++] = addresses[i];
+    }
+  }
+  const auto slot_of = [&](std::size_t address) {
+    for (std::size_t s = 0; s < num_slots_; ++s) {
+      if (cells_[s] == address) return s;
+    }
+    throw Error("packed engine: address is not an involved cell");
+  };
+
+  for (const BoundFp& bound : instance.fps) {
+    Fp fp;
+    fp.v_slot = static_cast<std::uint8_t>(slot_of(bound.v_cell));
+    fp.a_slot = static_cast<std::uint8_t>(slot_of(bound.a_cell));
+    fp.two_cell = bound.fp.is_two_cell();
+    fp.state_fault = bound.fp.is_state_fault();
+    fp.op_on_victim = bound.fp.op_on_victim();
+    fp.sense = bound.fp.sense_op();
+    fp.sense_slot = fp.op_on_victim ? fp.v_slot : fp.a_slot;
+    fp.v_state_one = bound.fp.v_state() == Bit::One;
+    fp.a_state_one = fp.two_cell && bound.fp.a_state() == Bit::One;
+    fp.fault_one = bound.fp.fault_value() == Bit::One;
+    fp.read_one = fp.op_on_victim && fp.sense == SenseOp::Rd &&
+                  to_bit(bound.fp.read_result()) == Bit::One;
+    has_state_fault_ = has_state_fault_ || fp.state_fault;
+    fps_[num_fps_++] = fp;
+  }
+}
+
+std::uint64_t PackedFaultSim::condition_word(const Lanes& lanes,
+                                             const Fp& fp) const {
+  std::uint64_t cond =
+      fp.v_state_one ? lanes.val[fp.v_slot] : ~lanes.val[fp.v_slot];
+  if (fp.two_cell) {
+    cond &= fp.a_state_one ? lanes.val[fp.a_slot] : ~lanes.val[fp.a_slot];
+  }
+  return cond;
+}
+
+void PackedFaultSim::settle_state_faults(
+    Lanes& lanes, std::uint64_t group,
+    std::array<std::uint64_t, kMaxFps>& fired) const {
+  if (!has_state_fault_) return;
+  // Fixpoint over the (≤ kMaxFps) state faults, mirroring the scalar
+  // settle loop: a fault fires in the lanes where it is armed, has not
+  // fired during this operation, and its state condition holds.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < num_fps_; ++i) {
+      const Fp& fp = fps_[i];
+      if (!fp.state_fault) continue;
+      const std::uint64_t can =
+          group & lanes.armed[i] & ~fired[i] & condition_word(lanes, fp);
+      if (can == 0) continue;
+      lanes.val[fp.v_slot] =
+          (lanes.val[fp.v_slot] & ~can) | (fp.fault_one ? can : 0);
+      lanes.armed[i] &= ~can;
+      fired[i] |= can;
+      changed = true;
+    }
+  }
+}
+
+void PackedFaultSim::rearm_state_faults(Lanes& lanes,
+                                        std::uint64_t group) const {
+  if (!has_state_fault_) return;
+  // Scalar re-arm: a disarmed state fault re-arms once its condition is
+  // false again (edge-trigger semantics).
+  for (std::size_t i = 0; i < num_fps_; ++i) {
+    if (!fps_[i].state_fault) continue;
+    lanes.armed[i] |= group & ~condition_word(lanes, fps_[i]);
+  }
+}
+
+void PackedFaultSim::power_on_block(Lanes& lanes, std::size_t base,
+                                    std::size_t total, std::size_t combos,
+                                    bool both_power_on_states) const {
+  const std::uint64_t active = scenario_active_word(base, total);
+  const std::uint64_t power1 =
+      both_power_on_states ? (scenario_power1_word(base, combos) & active) : 0;
+  power_on(lanes, active, power1);
+}
+
+void PackedFaultSim::power_on(Lanes& lanes, std::uint64_t active,
+                              std::uint64_t power1) const {
+  lanes.active = active;
+  lanes.detected = 0;
+  lanes.uniform = power1 & active;
+  for (std::size_t s = 0; s < num_slots_; ++s) lanes.val[s] = lanes.uniform;
+  for (std::size_t i = 0; i < num_fps_; ++i) lanes.armed[i] = active;
+  std::array<std::uint64_t, kMaxFps> fired{};
+  settle_state_faults(lanes, active, fired);
+  rearm_state_faults(lanes, active);
+}
+
+void PackedFaultSim::apply_op(Lanes& lanes, Op op, std::size_t slot,
+                              std::uint64_t group,
+                              std::uint64_t expected) const {
+  // Waits address no cell: they cannot sensitize an op FP, and the scalar
+  // settle after them is a no-op (armed ⇒ condition false — see the header).
+  if (is_wait(op)) return;
+  const bool read = is_read(op);
+
+  // 1. Sensitization on the pre-op state (scalar op_matches).  The op kind
+  //    and target address are lane-invariant; only the state condition is a
+  //    per-lane word.
+  std::array<std::uint64_t, kMaxFps> matched{};
+  for (std::size_t i = 0; i < num_fps_; ++i) {
+    const Fp& fp = fps_[i];
+    if (fp.state_fault || fp.sense_slot != slot) continue;
+    const bool kind_matches =
+        read ? fp.sense == SenseOp::Rd
+             : fp.sense == (op == Op::W1 ? SenseOp::W1 : SenseOp::W0);
+    if (!kind_matches) continue;
+    matched[i] = group & condition_word(lanes, fp);
+  }
+
+  // 2. A read returns the pre-op faulty value unless overridden below.
+  std::uint64_t out = lanes.val[slot];
+
+  // 3. Default operation effect.
+  if (!read) {
+    if (op == Op::W1) {
+      lanes.val[slot] |= group;
+    } else {
+      lanes.val[slot] &= ~group;
+    }
+  }
+
+  // 4. Fault overrides, in FP order (a later FP overrides an earlier one on
+  //    a shared victim, matching the scalar loop).
+  std::array<std::uint64_t, kMaxFps> fired{};
+  for (std::size_t i = 0; i < num_fps_; ++i) {
+    if (matched[i] == 0) continue;
+    const Fp& fp = fps_[i];
+    lanes.val[fp.v_slot] =
+        (lanes.val[fp.v_slot] & ~matched[i]) | (fp.fault_one ? matched[i] : 0);
+    if (read && fp.op_on_victim && fp.v_slot == slot) {
+      out = (out & ~matched[i]) | (fp.read_one ? matched[i] : 0);
+    }
+    fired[i] = matched[i];
+  }
+
+  // 5. State faults settle and re-arm.
+  settle_state_faults(lanes, group, fired);
+  rearm_state_faults(lanes, group);
+
+  // 6. Detection: the read mismatches the good machine's value.
+  if (read) lanes.detected |= group & (out ^ expected);
+}
+
+std::uint64_t PackedFaultSim::run_element(Lanes& lanes,
+                                          const MarchElement& element,
+                                          const ElementTrace& trace,
+                                          std::uint64_t down) const {
+  const std::uint64_t before = lanes.detected;
+  // `uniform` must stay the element's *entry* value while both sweep groups
+  // replay it (TraceVal::Prev refers to the pre-element good machine).
+  const std::uint64_t entry_uniform = lanes.uniform;
+  const auto expected_word = [&](TraceVal value) -> std::uint64_t {
+    switch (value) {
+      case TraceVal::Zero:
+        return 0;
+      case TraceVal::One:
+        return ~std::uint64_t{0};
+      case TraceVal::Prev:
+      default:
+        return entry_uniform;
+    }
+  };
+
+  const std::vector<Op>& ops = element.ops();
+  const std::uint64_t groups[2] = {lanes.active & ~down, lanes.active & down};
+  for (int g = 0; g < 2; ++g) {
+    const std::uint64_t group = groups[g];
+    if (group == 0) continue;
+    const bool ascending = g == 0;
+    for (std::size_t step = 0; step < num_slots_; ++step) {
+      const std::size_t slot = ascending ? step : num_slots_ - 1 - step;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        apply_op(lanes, ops[i], slot, group, expected_word(trace.pre[i]));
+      }
+    }
+  }
+
+  // The good machine leaves every element uniform.
+  switch (trace.final_value) {
+    case TraceVal::Zero:
+      lanes.uniform = 0;
+      break;
+    case TraceVal::One:
+      lanes.uniform = ~std::uint64_t{0};
+      break;
+    case TraceVal::Prev:
+      break;
+  }
+  return lanes.detected & ~before;
+}
+
+PackedOutcome packed_run(const MarchTest& test, const CompiledTest& compiled,
+                         const PackedFaultSim& sim, bool both_power_on_states,
+                         bool stop_at_first_escape) {
+  const std::size_t combos = std::size_t{1} << compiled.any_count;
+  const std::size_t total = (both_power_on_states ? 2 : 1) * combos;
+  const auto scenario_of = [&](std::size_t sc) {
+    return std::make_pair(sc >= combos ? Bit::One : Bit::Zero, sc % combos);
+  };
+
+  PackedOutcome outcome;
+  for (std::size_t base = 0; base < total; base += 64) {
+    PackedFaultSim::Lanes lanes;
+    sim.power_on_block(lanes, base, total, combos, both_power_on_states);
+
+    for (std::size_t e = 0; e < test.elements().size(); ++e) {
+      const MarchElement& element = test.elements()[e];
+      sim.run_element(
+          lanes, element, compiled.traces[e],
+          element_down_word(element, compiled.any_ordinal[e], base, combos));
+      // Detection is sticky and monotone: a fully detected block is done.
+      if (lanes.detected == lanes.active) break;
+    }
+
+    if (!outcome.first_detected.has_value() && lanes.detected != 0) {
+      outcome.first_detected = scenario_of(base + lowest_lane(lanes.detected));
+    }
+    const std::uint64_t escaped = lanes.active & ~lanes.detected;
+    if (escaped != 0) {
+      outcome.all_detected = false;
+      if (!outcome.first_escape.has_value()) {
+        outcome.first_escape = scenario_of(base + lowest_lane(escaped));
+      }
+      if (stop_at_first_escape) return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace mtg

@@ -1,0 +1,253 @@
+// The packed fault-simulation engine: scenario packing + cell collapsing.
+//
+// This is the shared substrate behind FaultSimulator::detects/simulate,
+// evaluate_coverage and the generator's greedy engine.  It produces verdicts
+// bit-identical to the scalar reference machine (fp/semantics.hpp executed
+// by FaultSimulator::run_scenario) while cutting the cost per fault instance
+// from O(ops × n × scenarios) to O(ops × k) word operations, k ≤ 3.
+//
+// -- Scenario packing (lane layout) -----------------------------------------
+//
+// A fault instance must be detected under every power-on content in
+// {all-0, all-1} and every assignment of concrete orders to the test's ⇕
+// elements.  With `a` ⇕ elements and P power-on values there are
+// S = P · 2^a scenarios.  Scenario index
+//
+//     sc = power_on · 2^a + order_mask        (bit j of order_mask = 1
+//                                              ⇔ the j-th ⇕ element runs ⇓)
+//
+// matches FaultSimulator's enumeration order (power-on major, mask minor).
+// Scenario sc maps to lane (sc mod 64) of block (sc div 64); every lane of a
+// block advances simultaneously through one bitwise word update per memory
+// operation.  Lane state is three word families:
+//
+//   val[slot]  — the faulty machine's value of involved cell `slot`
+//   armed[f]   — the edge-trigger flag of state fault f
+//   detected   — sticky flag: some read already mismatched in this lane
+//
+// All fault-primitive semantics (sensitization on the pre-op state, victim
+// forcing, read-result overrides, state-fault settle/re-arm fixpoints)
+// translate to AND/OR/NOT on these words, because each rule is a pointwise
+// function of per-lane bits.  Blocks are plain structs held on the stack:
+// the per-scenario FaultyMemory/MemoryState heap allocations of the scalar
+// path disappear entirely.
+//
+// -- Cell collapsing (soundness argument) ------------------------------------
+//
+// A fault instance binds at most kMaxFps fault primitives, touching at most
+// 2·kMaxFps distinct cells (the *involved* cells; ≤ 3 for every instance the
+// fault library produces).  Only those cells need simulation:
+//
+//  1. FPs force only their victim cell, and sensitization conditions read
+//     only aggressor/victim states — all involved cells.  An uninvolved cell
+//     therefore receives exactly the fault-free sequence of writes, so its
+//     faulty value equals its good value at every point of the run, and a
+//     read of it can never mismatch.
+//  2. An operation addressed at an uninvolved cell cannot fire an
+//     op-sensitized FP (the sensitizing address is involved), and cannot
+//     fire a state fault either: the scalar machine maintains the invariant
+//     "armed ⇒ condition false" at the end of every apply()/power_on()
+//     (settle runs to fixpoint, then re-arm only arms false conditions), and
+//     an op on an uninvolved cell changes no involved cell, so no condition
+//     can have become true.  Wait operations (`t`) are no-ops for the same
+//     reason.  Skipping these operations is therefore exact, not an
+//     approximation.
+//  3. Positional correction: within a march element the involved cells must
+//     be visited in sweep order — ascending addresses for ⇑ lanes,
+//     descending for ⇓ lanes.  run_element() partitions the lanes of a block
+//     into the two order groups and replays the element once per group with
+//     all updates masked to that group, which preserves the exact relative
+//     order of involved-cell visits in every lane.  Operations on the
+//     uninvolved cells *between* them are skipped per (2).
+//
+// -- Shared good-machine trace ----------------------------------------------
+//
+// March elements apply the same operation sequence to every cell, so the
+// fault-free machine is uniform at every element boundary and the value a
+// read expects depends only on (element, op index) and possibly the power-on
+// value — never on the address, the ⇕ orders, or the fault instance.
+// compile_march_test() precomputes this trace once per test; every instance,
+// scenario and thread shares it, replacing the scalar path's per-scenario
+// MemoryState good machine with one constant word per read.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/bit.hpp"
+#include "march/march_test.hpp"
+#include "sim/fault_instance.hpp"
+
+namespace mtg {
+
+/// Symbolic good-machine value: the fault-free memory holds either a known
+/// constant or whatever uniform value the previous element left behind
+/// (ultimately the power-on value).
+enum class TraceVal : std::uint8_t { Prev, Zero, One };
+
+/// Good-machine trace of one march element, independent of address order and
+/// memory size (see the file comment).
+struct ElementTrace {
+  /// Per operation: the fault-free value of the visited cell just before
+  /// the operation executes (the value a read expects).
+  std::vector<TraceVal> pre;
+  /// The uniform fault-free value of every cell after the element.
+  TraceVal final_value = TraceVal::Prev;
+};
+
+ElementTrace compile_element_trace(const MarchElement& element);
+
+/// A march test compiled for packed execution: per-element good-machine
+/// traces plus the ⇕-element numbering that defines the scenario lanes.
+struct CompiledTest {
+  std::vector<ElementTrace> traces;  ///< one per march element
+  std::vector<int> any_ordinal;      ///< per element: ⇕ ordinal, or -1
+  std::size_t any_count = 0;         ///< number of ⇕ elements
+};
+
+CompiledTest compile_march_test(const MarchTest& test);
+
+// -- Scenario lane words -----------------------------------------------------
+// Blocks are 64-lane windows [base, base+64) over the scenario indices
+// described in the file comment; `base` is always a multiple of 64 and
+// `combos` = 2^any_count.
+
+/// Lanes of block `base` that carry a scenario (total = P·combos).
+std::uint64_t scenario_active_word(std::size_t base, std::size_t total);
+
+/// Lanes of block `base` whose scenario powers on all-1 (sc >= combos).
+std::uint64_t scenario_power1_word(std::size_t base, std::size_t combos);
+
+/// Lanes of block `base` in which ⇕ element `ordinal` runs Down.
+std::uint64_t scenario_down_word(std::size_t base, std::size_t combos,
+                                 std::size_t ordinal);
+
+/// Lanes of block `base` in which `element` sweeps Down: all/none for fixed
+/// orders, the scenario word for ⇕ (`any_ordinal` = CompiledTest::any_ordinal).
+std::uint64_t element_down_word(const MarchElement& element, int any_ordinal,
+                                std::size_t base, std::size_t combos);
+
+/// Number of set bits (detected lanes etc.).
+std::size_t lane_popcount(std::uint64_t word) noexcept;
+
+/// Index of the lowest set bit; word must be non-zero.
+std::size_t lowest_lane(std::uint64_t word) noexcept;
+
+// -- The packed machine ------------------------------------------------------
+
+/// Throws unless every bound FP of `instance` addresses a cell of an
+/// `n`-cell memory.  The packed engine never indexes the memory, so every
+/// packed entry point calls this to keep the scalar machine's bounds
+/// contract (FaultyMemory's constructor) intact.
+void require_addresses_fit(const FaultInstance& instance, std::size_t n);
+
+/// One fault instance compiled for packed execution: its involved cells are
+/// renamed to dense slots and its fault primitives preprocessed into
+/// slot-indexed bit tests.  Construction is allocation-free.
+class PackedFaultSim {
+ public:
+  static constexpr std::size_t kMaxFps = 4;
+  static constexpr std::size_t kMaxSlots = 2 * kMaxFps;
+
+  /// True when the instance fits the packed representation (every instance
+  /// the fault library instantiates does; callers fall back to the scalar
+  /// machine otherwise).
+  static bool supports(const FaultInstance& instance) noexcept {
+    return instance.fps.size() <= kMaxFps;
+  }
+
+  /// Fault-free machine (no fault primitives, no involved cells).
+  PackedFaultSim() = default;
+
+  /// Compiles `instance`; requires supports(instance).
+  explicit PackedFaultSim(const FaultInstance& instance);
+
+  std::size_t num_slots() const noexcept { return num_slots_; }
+  /// Memory address of involved cell `slot` (slots are address-ascending).
+  std::size_t slot_address(std::size_t slot) const { return cells_[slot]; }
+
+  /// Per-block lane state; plain data, copyable (the greedy engine's trial
+  /// evaluation relies on cheap copies).
+  struct Lanes {
+    std::uint64_t active = 0;    ///< lanes carrying a scenario
+    std::uint64_t detected = 0;  ///< sticky detection flags
+    std::uint64_t uniform = 0;   ///< good-machine uniform value per lane
+    std::array<std::uint64_t, kMaxSlots> val{};   ///< faulty involved cells
+    std::array<std::uint64_t, kMaxFps> armed{};   ///< state-fault edge flags
+  };
+
+  /// Initialises a block: every lane holds its power-on value everywhere,
+  /// state faults settle once and re-arm (scalar power_on semantics).
+  void power_on(Lanes& lanes, std::uint64_t active,
+                std::uint64_t power1) const;
+
+  /// power_on() for scenario block `base` of a P·combos scenario set
+  /// (total = P·combos): computes the active and power-on lane words.
+  void power_on_block(Lanes& lanes, std::size_t base, std::size_t total,
+                      std::size_t combos, bool both_power_on_states) const;
+
+  /// Replays one march element over every active lane; lanes with their bit
+  /// set in `down` sweep ⇓, the others ⇑.  `trace` must be the element's
+  /// compiled trace and `lanes.uniform` the good machine's entry value.
+  /// Returns the lanes newly detected during this element.
+  std::uint64_t run_element(Lanes& lanes, const MarchElement& element,
+                            const ElementTrace& trace,
+                            std::uint64_t down) const;
+
+ private:
+  /// A fault primitive lowered to slot-indexed bit tests.
+  struct Fp {
+    std::uint8_t v_slot = 0;      ///< victim slot
+    std::uint8_t a_slot = 0;      ///< aggressor slot (== v_slot if 1-cell)
+    std::uint8_t sense_slot = 0;  ///< slot the sensitizing op must address
+    bool two_cell = false;
+    bool state_fault = false;
+    bool op_on_victim = false;
+    SenseOp sense = SenseOp::None;
+    bool v_state_one = false;  ///< sensitizing victim state
+    bool a_state_one = false;  ///< sensitizing aggressor state (2-cell)
+    bool fault_one = false;    ///< F — forced victim value
+    bool read_one = false;     ///< R — returned value on a victim read
+  };
+
+  /// Lanes (of `within`) whose pre-op state matches the FP's sensitizing
+  /// states.
+  std::uint64_t condition_word(const Lanes& lanes, const Fp& fp) const;
+
+  void apply_op(Lanes& lanes, Op op, std::size_t slot, std::uint64_t group,
+                std::uint64_t expected) const;
+  void settle_state_faults(Lanes& lanes, std::uint64_t group,
+                           std::array<std::uint64_t, kMaxFps>& fired) const;
+  void rearm_state_faults(Lanes& lanes, std::uint64_t group) const;
+
+  std::array<std::size_t, kMaxSlots> cells_{};  ///< involved addresses, asc
+  std::size_t num_slots_ = 0;
+  std::array<Fp, kMaxFps> fps_{};
+  std::size_t num_fps_ = 0;
+  bool has_state_fault_ = false;
+};
+
+// -- Full-test runner --------------------------------------------------------
+
+/// Verdict of running every scenario of one instance against one test.
+struct PackedOutcome {
+  bool all_detected = true;  ///< detected in every scenario (covered)
+  /// Lowest detecting scenario (power-on, ⇕-order mask), if any.
+  std::optional<std::pair<Bit, std::size_t>> first_detected;
+  /// Lowest escaping scenario, if any.
+  std::optional<std::pair<Bit, std::size_t>> first_escape;
+};
+
+/// Runs every (power-on, ⇕-order) scenario of `instance` against `test`.
+/// `compiled` must be compile_march_test(test).  With `stop_at_first_escape`
+/// the run aborts at the first block containing an undetected scenario (the
+/// detects() fast path); first_detected is then only valid up to that block.
+PackedOutcome packed_run(const MarchTest& test, const CompiledTest& compiled,
+                         const PackedFaultSim& sim, bool both_power_on_states,
+                         bool stop_at_first_escape);
+
+}  // namespace mtg

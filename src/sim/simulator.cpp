@@ -3,8 +3,31 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "sim/packed_engine.hpp"
 
 namespace mtg {
+namespace {
+
+/// Runs the packed engine when the options and the instance allow it;
+/// std::nullopt sends the caller to the scalar reference path.
+std::optional<PackedOutcome> try_packed_run(const SimulatorOptions& options,
+                                            const MarchTest& test,
+                                            const FaultInstance& instance,
+                                            bool stop_at_first_escape) {
+  if (!options.use_packed_engine || !PackedFaultSim::supports(instance)) {
+    return std::nullopt;
+  }
+  require(
+      FaultSimulator::any_order_count(test) <= options.max_any_order_elements,
+      "too many ⇕ elements to enumerate order assignments");
+  require_addresses_fit(instance, options.memory_size);
+  const CompiledTest compiled = compile_march_test(test);
+  const PackedFaultSim sim(instance);
+  return packed_run(test, compiled, sim, options.both_power_on_states,
+                    stop_at_first_escape);
+}
+
+}  // namespace
 
 std::string DetectionEvent::to_string() const {
   std::ostringstream out;
@@ -110,6 +133,25 @@ std::optional<DetectionEvent> FaultSimulator::run_scenario(
 
 DetectionResult FaultSimulator::simulate(const MarchTest& test,
                                          const FaultInstance& instance) const {
+  if (const auto outcome = try_packed_run(options_, test, instance,
+                                          /*stop_at_first_escape=*/false)) {
+    DetectionResult result;
+    result.detected = outcome->all_detected;
+    if (outcome->first_detected.has_value()) {
+      // Replay the lowest detecting scenario on the scalar machine for the
+      // op-level diagnostics (one scenario — cheap).
+      result.first_event =
+          run_scenario(test, instance, outcome->first_detected->first,
+                       outcome->first_detected->second);
+    }
+    result.escape_scenario = outcome->first_escape;
+    return result;
+  }
+  return simulate_scalar(test, instance);
+}
+
+DetectionResult FaultSimulator::simulate_scalar(
+    const MarchTest& test, const FaultInstance& instance) const {
   const std::size_t any_count = any_order_count(test);
   require(any_count <= options_.max_any_order_elements,
           "too many ⇕ elements to enumerate order assignments");
@@ -138,6 +180,45 @@ DetectionResult FaultSimulator::simulate(const MarchTest& test,
 
 bool FaultSimulator::detects(const MarchTest& test,
                              const FaultInstance& instance) const {
+  if (const auto outcome = try_packed_run(options_, test, instance,
+                                          /*stop_at_first_escape=*/true)) {
+    return outcome->all_detected;
+  }
+  return detects_scalar(test, instance);
+}
+
+bool FaultSimulator::detects_all(
+    const MarchTest& test, const std::vector<FaultInstance>& instances) const {
+  if (!options_.use_packed_engine) {
+    for (const FaultInstance& instance : instances) {
+      if (!detects_scalar(test, instance)) return false;
+    }
+    return true;
+  }
+  const CompiledTest compiled = compile_march_test(test);
+  for (const FaultInstance& instance : instances) {
+    if (!detects_compiled(test, compiled, instance)) return false;
+  }
+  return true;
+}
+
+bool FaultSimulator::detects_compiled(const MarchTest& test,
+                                      const CompiledTest& compiled,
+                                      const FaultInstance& instance) const {
+  require(compiled.any_count <= options_.max_any_order_elements,
+          "too many ⇕ elements to enumerate order assignments");
+  if (!options_.use_packed_engine || !PackedFaultSim::supports(instance)) {
+    return detects_scalar(test, instance);
+  }
+  require_addresses_fit(instance, options_.memory_size);
+  const PackedFaultSim sim(instance);
+  return packed_run(test, compiled, sim, options_.both_power_on_states,
+                    /*stop_at_first_escape=*/true)
+      .all_detected;
+}
+
+bool FaultSimulator::detects_scalar(const MarchTest& test,
+                                    const FaultInstance& instance) const {
   // Fast path of simulate(): bail out on the first escaping scenario.
   const std::size_t any_count = any_order_count(test);
   require(any_count <= options_.max_any_order_elements,

@@ -25,10 +25,19 @@
 
 namespace mtg {
 
+struct CompiledTest;  // sim/packed_engine.hpp
+
 struct SimulatorOptions {
   std::size_t memory_size = 8;      ///< n — number of simulated cells
   bool both_power_on_states = true; ///< try all-0 and all-1 initial content
   std::size_t max_any_order_elements = 10;  ///< cap on ⇕ elements (2^k runs)
+  /// Use the packed engine (sim/packed_engine.hpp) for detects/simulate and
+  /// evaluate_coverage.  false selects the scalar reference machine — the
+  /// oracle for differential testing and the benchmarks' baseline.
+  bool use_packed_engine = true;
+  /// Worker threads for evaluate_coverage; 0 picks the hardware concurrency.
+  /// The scalar path (use_packed_engine = false) always runs sequentially.
+  std::size_t coverage_threads = 0;
 };
 
 /// Where a detection happened, for diagnostics.
@@ -67,12 +76,34 @@ class FaultSimulator {
   /// Throws mtg::Error when the test is invalid (see validity_violation).
   static void validate(const MarchTest& test);
 
-  /// Full detection semantics (all power-on states, all ⇕ orders).
+  /// Full detection semantics (all power-on states, all ⇕ orders).  Runs on
+  /// the packed engine when options allow it, the scalar machine otherwise;
+  /// both produce identical results.
   DetectionResult simulate(const MarchTest& test,
                            const FaultInstance& instance) const;
 
-  /// Convenience: simulate(...).detected.
+  /// Convenience: simulate(...).detected (with an early-exit fast path).
   bool detects(const MarchTest& test, const FaultInstance& instance) const;
+
+  /// Batch variant of detects(): true iff every instance is detected.  The
+  /// compiled test is shared across the whole batch (detects() recompiles
+  /// it per call), and the scan stops at the first undetected instance —
+  /// the shape of the minimizer's and certification's inner loops.
+  bool detects_all(const MarchTest& test,
+                   const std::vector<FaultInstance>& instances) const;
+
+  /// detects() against a pre-compiled test (compile_march_test): the one
+  /// packed-vs-scalar dispatch shared by detects_all, evaluate_coverage and
+  /// the generator's certification loop, so batch callers compile once.
+  bool detects_compiled(const MarchTest& test, const CompiledTest& compiled,
+                        const FaultInstance& instance) const;
+
+  /// Scalar reference implementations (one FaultyMemory run per scenario),
+  /// kept as the differential-testing oracle for the packed engine.
+  DetectionResult simulate_scalar(const MarchTest& test,
+                                  const FaultInstance& instance) const;
+  bool detects_scalar(const MarchTest& test,
+                      const FaultInstance& instance) const;
 
   /// Single scenario run: fixed power-on value and a bitmask choosing the
   /// concrete order of each ⇕ element (bit i = 1 → the i-th ⇕ element runs

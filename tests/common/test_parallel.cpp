@@ -1,0 +1,71 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mtg {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), /*chunk=*/7,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                    });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, WorkerIndicesStayInRange) {
+  ThreadPool pool(2);
+  std::atomic<bool> out_of_range{false};
+  pool.parallel_for(64, 1, [&](std::size_t worker, std::size_t, std::size_t) {
+    if (worker > pool.num_workers()) out_of_range = true;
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  std::size_t sum = 0;  // no synchronisation needed: inline execution
+  pool.parallel_for(10, 3, [&](std::size_t, std::size_t begin,
+                               std::size_t end) { sum += end - begin; });
+  EXPECT_EQ(sum, 10u);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> covered{0};
+    pool.parallel_for(101, 4, [&](std::size_t, std::size_t begin,
+                                  std::size_t end) { covered += end - begin; });
+    ASSERT_EQ(covered.load(), 101u) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100, 1,
+                        [&](std::size_t, std::size_t begin, std::size_t) {
+                          if (begin == 50) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(32, 4, [&](std::size_t, std::size_t begin,
+                               std::size_t end) { covered += end - begin; });
+  EXPECT_EQ(covered.load(), 32u);
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::resolve_thread_count(5), 5u);
+  EXPECT_GE(ThreadPool::resolve_thread_count(0), 1u);
+}
+
+}  // namespace
+}  // namespace mtg

@@ -1,0 +1,247 @@
+// Differential tests: the packed engine (sim/packed_engine.hpp) against the
+// scalar reference machine, across the march catalog and the fault library.
+// The packed path must reproduce the scalar verdicts bit for bit — these
+// tests are the soundness net under every optimisation the engine applies
+// (scenario lanes, cell collapsing, the shared good-machine trace).
+#include "sim/packed_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fp/fault_list.hpp"
+#include "march/catalog.hpp"
+#include "march/parser.hpp"
+#include "memory/pattern_graph.hpp"
+#include "sim/coverage.hpp"
+
+namespace mtg {
+namespace {
+
+SimulatorOptions options_for(std::size_t n, bool packed, bool both = true) {
+  SimulatorOptions options;
+  options.memory_size = n;
+  options.both_power_on_states = both;
+  options.use_packed_engine = packed;
+  return options;
+}
+
+/// Asserts packed and scalar detects() agree on every instance of `list`.
+void expect_detection_agreement(const MarchTest& test, const FaultList& list,
+                                std::size_t n, std::size_t stride = 1) {
+  const FaultSimulator packed(options_for(n, true));
+  const FaultSimulator scalar(options_for(n, false));
+  const std::vector<FaultInstance> instances = instantiate_all(list, n);
+  for (std::size_t i = 0; i < instances.size(); i += stride) {
+    const bool expected = scalar.detects(test, instances[i]);
+    EXPECT_EQ(packed.detects(test, instances[i]), expected)
+        << test.name() << " / " << instances[i].description;
+  }
+}
+
+TEST(PackedEngine, CatalogAgreesOnSimpleStaticFaults) {
+  const FaultList list = standard_simple_static_faults();
+  for (const MarchTest& test : all_catalog_tests()) {
+    expect_detection_agreement(test, list, 4);
+  }
+}
+
+TEST(PackedEngine, CatalogAgreesOnLinkedFaultListTwo) {
+  const FaultList list = fault_list_2();
+  for (const MarchTest& test : all_catalog_tests()) {
+    expect_detection_agreement(test, list, 4);
+  }
+}
+
+TEST(PackedEngine, LinkedFaultListOneSampleAgrees) {
+  // Fault List #1 spans two- and three-cell linked faults (the heaviest
+  // layouts the library produces); sample it to bound the runtime.
+  const FaultList list = fault_list_1();
+  for (const MarchTest& test : {march_sl(), march_abl1(), mats_plus()}) {
+    expect_detection_agreement(test, list, 5, /*stride=*/7);
+  }
+}
+
+TEST(PackedEngine, AnyOrderHeavyTestsAgree) {
+  // ⇕-heavy tests stress the scenario lanes: 7 ⇕ elements → 128 order
+  // assignments × 2 power-ons = 256 scenarios = 4 lane blocks.
+  const MarchTest seven_any = parse_march_test(
+      "{c(w0); c(r0,w1); c(r1,w0); c(r0,w1); c(r1,w0); c(r0,w1); c(r1)}",
+      "seven-any");
+  const MarchTest mixed = parse_march_test(
+      "{c(w0); ^(r0,w1); c(r1,w0); v(r0,w1,r1); c(r1,w0,r0)}", "mixed-any");
+  const FaultList list = standard_simple_static_faults();
+  expect_detection_agreement(seven_any, list, 4);
+  expect_detection_agreement(mixed, list, 4);
+}
+
+TEST(PackedEngine, SimulateDiagnosticsAgree) {
+  const FaultSimulator packed(options_for(4, true));
+  const FaultSimulator scalar(options_for(4, false));
+  const FaultList list = standard_simple_static_faults();
+  for (const MarchTest& test : {mats_plus(), march_x(), march_ss()}) {
+    for (const FaultInstance& inst : instantiate_all(list, 4)) {
+      const DetectionResult p = packed.simulate(test, inst);
+      const DetectionResult s = scalar.simulate(test, inst);
+      ASSERT_EQ(p.detected, s.detected) << inst.description;
+      ASSERT_EQ(p.first_event.has_value(), s.first_event.has_value());
+      if (p.first_event.has_value()) {
+        EXPECT_EQ(p.first_event->to_string(), s.first_event->to_string())
+            << test.name() << " / " << inst.description;
+      }
+      ASSERT_EQ(p.escape_scenario.has_value(), s.escape_scenario.has_value());
+      if (p.escape_scenario.has_value()) {
+        EXPECT_EQ(*p.escape_scenario, *s.escape_scenario)
+            << test.name() << " / " << inst.description;
+      }
+    }
+  }
+}
+
+TEST(PackedEngine, LinkedMaskingPairsAgree) {
+  // The WDF0→WDF1 masking pair of test_simulator.cpp plus aggressor-linked
+  // pairs: the packed engine must reproduce masking emergent behaviour.
+  FaultInstance same_cell;
+  same_cell.fps.push_back(BoundFp::at(FaultPrimitive::wdf(Bit::Zero), 1));
+  same_cell.fps.push_back(BoundFp::at(FaultPrimitive::wdf(Bit::One), 1));
+  FaultInstance cross_cell;
+  cross_cell.fps.push_back(BoundFp(
+      FaultPrimitive::cfds(Bit::Zero, SenseOp::W1, Bit::Zero), 0, 2));
+  cross_cell.fps.push_back(BoundFp(
+      FaultPrimitive::cfds(Bit::One, SenseOp::W0, Bit::One), 3, 2));
+  const FaultSimulator packed(options_for(4, true));
+  const FaultSimulator scalar(options_for(4, false));
+  for (const MarchTest& test : all_catalog_tests()) {
+    for (const FaultInstance* inst : {&same_cell, &cross_cell}) {
+      EXPECT_EQ(packed.detects(test, *inst), scalar.detects(test, *inst))
+          << test.name() << " / " << inst->description;
+    }
+  }
+}
+
+TEST(PackedEngine, HonorsSinglePowerOnState) {
+  // IRF0 under a bare-read test: detected from all-0 power-on, escapes from
+  // all-1 — so the verdict must flip with both_power_on_states.
+  const MarchTest bare_read = parse_march_test("{c(r)}", "bare-read");
+  FaultInstance irf0;
+  irf0.fps.push_back(BoundFp::at(FaultPrimitive::irf(Bit::Zero), 2));
+  for (const bool packed : {true, false}) {
+    const FaultSimulator single(options_for(4, packed, /*both=*/false));
+    const FaultSimulator both(options_for(4, packed, /*both=*/true));
+    EXPECT_TRUE(single.detects(bare_read, irf0));
+    EXPECT_FALSE(both.detects(bare_read, irf0));
+  }
+}
+
+TEST(PackedEngine, CoverageReportsAgree) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SimulatorOptions packed_options = options_for(5, true);
+    packed_options.coverage_threads = threads;
+    const FaultSimulator packed(packed_options);
+    const FaultSimulator scalar(options_for(5, false));
+    for (const MarchTest& test : {march_ss(), march_sl(), mats_plus()}) {
+      const CoverageReport a =
+          evaluate_coverage(packed, test, standard_simple_static_faults());
+      const CoverageReport b =
+          evaluate_coverage(scalar, test, standard_simple_static_faults());
+      ASSERT_EQ(a.entries.size(), b.entries.size());
+      for (std::size_t i = 0; i < a.entries.size(); ++i) {
+        EXPECT_EQ(a.entries[i].detected, b.entries[i].detected);
+        EXPECT_EQ(a.entries[i].instances, b.entries[i].instances);
+        EXPECT_EQ(a.entries[i].covered, b.entries[i].covered);
+        EXPECT_EQ(a.entries[i].escape_description,
+                  b.entries[i].escape_description);
+      }
+      EXPECT_EQ(a.summary(), b.summary()) << test.name();
+    }
+  }
+}
+
+TEST(PackedEngine, CoverageParallelIsDeterministic) {
+  SimulatorOptions options = options_for(6, true);
+  options.coverage_threads = 4;
+  const FaultSimulator simulator(options);
+  const CoverageReport a =
+      evaluate_coverage(simulator, march_sl(), fault_list_2());
+  const CoverageReport b =
+      evaluate_coverage(simulator, march_sl(), fault_list_2());
+  EXPECT_EQ(a.summary(), b.summary());
+}
+
+TEST(PackedEngine, ScenarioWordsMatchEnumeration) {
+  // combos = 2^7 order assignments, two power-ons → 256 scenarios.
+  const std::size_t combos = 128;
+  const std::size_t total = 2 * combos;
+  for (std::size_t base = 0; base < total; base += 64) {
+    const std::uint64_t active = scenario_active_word(base, total);
+    const std::uint64_t power1 = scenario_power1_word(base, combos);
+    EXPECT_EQ(active, ~std::uint64_t{0});
+    for (std::size_t lane = 0; lane < 64; ++lane) {
+      const std::size_t sc = base + lane;
+      EXPECT_EQ((power1 >> lane) & 1u, sc >= combos ? 1u : 0u);
+      for (std::size_t ordinal = 0; ordinal < 7; ++ordinal) {
+        const std::uint64_t down = scenario_down_word(base, combos, ordinal);
+        EXPECT_EQ((down >> lane) & 1u, ((sc % combos) >> ordinal) & 1u)
+            << "base=" << base << " lane=" << lane << " ordinal=" << ordinal;
+      }
+    }
+  }
+  // Partial final block and the single-power-on case.
+  EXPECT_EQ(scenario_active_word(0, 12), (std::uint64_t{1} << 12) - 1);
+  EXPECT_EQ(scenario_power1_word(0, 8) & scenario_active_word(0, 16),
+            std::uint64_t{0xFF00});
+}
+
+TEST(PackedEngine, OutOfRangeAddressesThrowLikeScalar) {
+  FaultInstance oob;
+  oob.fps.push_back(BoundFp::at(FaultPrimitive::sf(Bit::One), 100));
+  const FaultSimulator packed(options_for(4, true));
+  const FaultSimulator scalar(options_for(4, false));
+  EXPECT_THROW(packed.detects(mats_plus(), oob), Error);
+  EXPECT_THROW(scalar.detects(mats_plus(), oob), Error);
+  EXPECT_THROW(packed.simulate(mats_plus(), oob), Error);
+  EXPECT_THROW(packed.detects_all(mats_plus(), {oob}), Error);
+}
+
+TEST(PackedEngine, DetectsAllMatchesPerInstanceDetects) {
+  const FaultSimulator packed(options_for(4, true));
+  const FaultSimulator scalar(options_for(4, false));
+  const std::vector<FaultInstance> instances =
+      instantiate_all(standard_simple_static_faults(), 4);
+  for (const MarchTest& test : {mats_plus(), march_ss()}) {
+    bool all = true;
+    for (const FaultInstance& inst : instances) {
+      all = all && scalar.detects(test, inst);
+    }
+    EXPECT_EQ(packed.detects_all(test, instances), all) << test.name();
+  }
+}
+
+TEST(PackedEngine, FaultFreeInstanceNeverDetected) {
+  const FaultSimulator packed(options_for(4, true));
+  FaultInstance none;
+  for (const MarchTest& test : all_catalog_tests()) {
+    EXPECT_FALSE(packed.detects(test, none)) << test.name();
+  }
+}
+
+TEST(PackedEngine, CompiledTraceTracksGoodMachine) {
+  const MarchTest test =
+      parse_march_test("{c(w0); ^(r0,w1,r1,w0); v(r0)}", "trace");
+  const CompiledTest compiled = compile_march_test(test);
+  ASSERT_EQ(compiled.traces.size(), 3u);
+  EXPECT_EQ(compiled.any_count, 1u);
+  EXPECT_EQ(compiled.any_ordinal[0], 0);
+  EXPECT_EQ(compiled.any_ordinal[1], -1);
+  // Element 1 = (r0,w1,r1,w0): the trace is symbolic per element, so the
+  // ops before the first write expect the previous element's uniform value.
+  const ElementTrace& trace = compiled.traces[1];
+  EXPECT_EQ(trace.pre[0], TraceVal::Prev);
+  EXPECT_EQ(trace.pre[1], TraceVal::Prev);
+  EXPECT_EQ(trace.pre[2], TraceVal::One);
+  EXPECT_EQ(trace.pre[3], TraceVal::One);
+  EXPECT_EQ(trace.final_value, TraceVal::Zero);
+  // First element: reads before any write expect the power-on value.
+  EXPECT_EQ(compiled.traces[0].pre[0], TraceVal::Prev);
+}
+
+}  // namespace
+}  // namespace mtg
