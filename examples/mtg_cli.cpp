@@ -4,9 +4,9 @@
 //       list the published march tests with complexity
 //   mtg_cli lists
 //       show the built-in fault lists and their sizes
-//   mtg_cli generate <list1|list2|simple>
+//   mtg_cli generate <list1|list2|simple|retention>
 //       generate a march test for a built-in fault list
-//   mtg_cli coverage "<march notation>" <list1|list2|simple> [n]
+//   mtg_cli coverage "<march notation>" <list1|list2|simple|retention> [n]
 //       fault-simulate a march test (e.g. "{c(w0); ^(r0,w1); v(r1,w0)}")
 //   mtg_cli dot <g0|pgcf>
 //       print the Figure 2 / Figure 4 graph as GraphViz DOT
@@ -28,7 +28,9 @@ FaultList list_by_name(const std::string& name) {
   if (name == "list1") return fault_list_1();
   if (name == "list2") return fault_list_2();
   if (name == "simple") return standard_simple_static_faults();
-  throw Error("unknown fault list '" + name + "' (use list1, list2 or simple)");
+  if (name == "retention") return retention_fault_list();
+  throw Error("unknown fault list '" + name +
+              "' (use list1, list2, simple or retention)");
 }
 
 int cmd_catalog() {
@@ -40,7 +42,7 @@ int cmd_catalog() {
 }
 
 int cmd_lists() {
-  for (const char* name : {"list1", "list2", "simple"}) {
+  for (const char* name : {"list1", "list2", "simple", "retention"}) {
     const FaultList list = list_by_name(name);
     std::cout << name << ": " << list.name << " — " << list.size()
               << " faults (" << list.simple.size() << " simple, "
@@ -88,8 +90,9 @@ int usage() {
   std::cerr << "usage:\n"
             << "  mtg_cli catalog\n"
             << "  mtg_cli lists\n"
-            << "  mtg_cli generate <list1|list2|simple>\n"
-            << "  mtg_cli coverage \"<march notation>\" <list1|list2|simple> [n]\n"
+            << "  mtg_cli generate <list1|list2|simple|retention>\n"
+            << "  mtg_cli coverage \"<march notation>\" "
+               "<list1|list2|simple|retention> [n]\n"
             << "  mtg_cli dot <g0|pgcf>\n";
   return 2;
 }

@@ -6,7 +6,9 @@
 // the value expected on a fault-free memory (`r0` / `r1`); the bare read `r`
 // (expected value unspecified) is also representable because the paper's
 // Definition 2 allows omitting it.  `t` is the wait operation used for data
-// retention faults.
+// retention faults: like reads and writes it is applied to every cell in
+// turn, modeling a pause long enough for an un-refreshed faulty cell to
+// decay during its visit (see fp/semantics.hpp for the retention semantics).
 #pragma once
 
 #include <cstdint>

@@ -63,6 +63,7 @@ std::optional<AddressedOp> sensitizing_op(const FaultPrimitive& fp,
       const Bit expected = fp.op_on_aggressor() ? fp.a_state() : fp.v_state();
       return AddressedOp{cell, make_read(expected)};
     }
+    case SenseOp::Wt: return AddressedOp{cell, Op::T};
     case SenseOp::None: break;
   }
   throw InternalError("sensitizing_op: unreachable");

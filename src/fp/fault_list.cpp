@@ -117,6 +117,31 @@ std::vector<LinkedFault> enumerate_three_cell_linked_faults() {
   return result;
 }
 
+std::vector<LinkedFault> enumerate_retention_linked_faults() {
+  std::vector<LinkedFault> result;
+  std::vector<FaultPrimitive> fps = all_single_cell_static_fps();
+  for (Bit s : {Bit::Zero, Bit::One}) fps.push_back(FaultPrimitive::drf(s));
+  for (const FaultPrimitive& fp1 : fps) {
+    if (!is_maskable(fp1)) continue;
+    for (const FaultPrimitive& fp2 : fps) {
+      if (!fp1.is_retention() && !fp2.is_retention()) continue;
+      if (!can_mask(fp2, fp1)) continue;
+      try_add(result, fp1, fp2, LinkedLayout::single_cell());
+    }
+  }
+  return result;
+}
+
+bool targets_retention(const FaultList& list) {
+  for (const SimpleFault& fault : list.simple) {
+    if (fault.fp.is_retention()) return true;
+  }
+  for (const LinkedFault& fault : list.linked) {
+    if (fault.fp1().is_retention() || fault.fp2().is_retention()) return true;
+  }
+  return false;
+}
+
 FaultList fault_list_2() {
   FaultList list;
   list.name = "Fault List #2 (single-cell static linked faults)";
@@ -145,6 +170,21 @@ FaultList standard_simple_static_faults() {
     list.simple.push_back(SimpleFault::coupled(fp, true));
     list.simple.push_back(SimpleFault::coupled(fp, false));
   }
+  return list;
+}
+
+FaultList retention_fault_list() {
+  FaultList list;
+  list.name = "Data-retention faults (DRF/CFrt)";
+  for (const FaultPrimitive& fp : all_retention_fps()) {
+    if (fp.is_two_cell()) {
+      list.simple.push_back(SimpleFault::coupled(fp, true));
+      list.simple.push_back(SimpleFault::coupled(fp, false));
+    } else {
+      list.simple.push_back(SimpleFault::single(fp));
+    }
+  }
+  list.linked = enumerate_retention_linked_faults();
   return list;
 }
 

@@ -66,6 +66,16 @@ std::vector<LinkedFault> enumerate_two_cell_linked_faults();
 /// in all six address orderings of (a1, a2, v).
 std::vector<LinkedFault> enumerate_three_cell_linked_faults();
 
+/// Single-cell linked faults with a retention FP on at least one side of the
+/// link (e.g. TF↑→DRF0: a pause masks the transition fault, or DRF0→WDF1:
+/// a write destroys the decayed value).  Pairs without a wait sensitizer
+/// belong to enumerate_single_cell_linked_faults().
+std::vector<LinkedFault> enumerate_retention_linked_faults();
+
+/// True when any FP of the list (simple or linked) carries the wait
+/// sensitizer `t` — the generator then proposes wait ops as candidates.
+bool targets_retention(const FaultList& list);
+
 /// Fault List #2 of the paper: single-cell static linked faults.
 FaultList fault_list_2();
 
@@ -76,5 +86,10 @@ FaultList fault_list_1();
 /// two-cell FPs in both layouts — the target of March SS; provided for the
 /// library's broader use and for baseline experiments.
 FaultList standard_simple_static_faults();
+
+/// Data-retention faults: the simple DRF/CFrt faults (CFrt in both layouts)
+/// plus the retention linked faults.  Only tests containing `t` ops can
+/// cover this list.
+FaultList retention_fault_list();
 
 }  // namespace mtg

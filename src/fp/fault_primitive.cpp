@@ -13,6 +13,7 @@ std::string to_string(SenseOp op) {
     case SenseOp::W0: return "w0";
     case SenseOp::W1: return "w1";
     case SenseOp::Rd: return "r";
+    case SenseOp::Wt: return "t";
   }
   throw InternalError("to_string(SenseOp): unreachable");
 }
@@ -32,6 +33,8 @@ std::string to_string(FpClass c) {
     case FpClass::CFrd: return "CFrd";
     case FpClass::CFdr: return "CFdr";
     case FpClass::CFir: return "CFir";
+    case FpClass::DRF: return "DRF";
+    case FpClass::CFrt: return "CFrt";
   }
   throw InternalError("to_string(FpClass): unreachable");
 }
@@ -49,6 +52,7 @@ std::string sensitizer_string(Bit state, SenseOp op) {
       out += 'r';
       out += to_char(state);  // a read always reads the current stored value
       break;
+    case SenseOp::Wt: out += 't'; break;
   }
   return out;
 }
@@ -73,6 +77,11 @@ FaultPrimitive::FaultPrimitive(int num_cells, Bit a_state, SenseOp a_op,
     require(a_op == SenseOp::None,
             "a single-cell fault primitive has no aggressor operation");
   }
+  // A wait pauses on the cell it is "applied" to during the march sweep; the
+  // retention condition lives on the decaying (victim) cell, so aggressor
+  // wait sensitizers are not part of the model.
+  require(a_op != SenseOp::Wt,
+          "the wait sensitizer t applies to the victim cell only");
   if (v_op == SenseOp::Rd) {
     require(is_concrete(read_result),
             "a read-sensitized fault primitive must specify the read result R");
@@ -149,6 +158,12 @@ FaultPrimitive FaultPrimitive::cfdr(Bit a, Bit v) {
 FaultPrimitive FaultPrimitive::cfir(Bit a, Bit v) {
   return coupled(a, SenseOp::None, v, SenseOp::Rd, v, to_tri(flip(v)));
 }
+FaultPrimitive FaultPrimitive::drf(Bit state) {
+  return single(state, SenseOp::Wt, flip(state));
+}
+FaultPrimitive FaultPrimitive::cfrt(Bit a, Bit v) {
+  return coupled(a, SenseOp::None, v, SenseOp::Wt, flip(v));
+}
 
 Bit FaultPrimitive::a_state() const {
   require(is_two_cell(), "a_state: single-cell fault primitives have no aggressor");
@@ -168,6 +183,7 @@ bool FaultPrimitive::is_immediately_detecting() const {
 FpClass FaultPrimitive::classify() const {
   if (num_cells_ == 1) {
     if (is_state_fault()) return FpClass::SF;
+    if (v_op_ == SenseOp::Wt) return FpClass::DRF;
     if (v_op_ == SenseOp::Rd) {
       if (fault_value_ == v_state_) return FpClass::IRF;
       return to_bit(read_result_) == v_state_ ? FpClass::DRDF : FpClass::RDF;
@@ -178,6 +194,7 @@ FpClass FaultPrimitive::classify() const {
   }
   if (is_state_fault()) return FpClass::CFst;
   if (op_on_aggressor()) return FpClass::CFds;
+  if (v_op_ == SenseOp::Wt) return FpClass::CFrt;
   if (v_op_ == SenseOp::Rd) {
     if (fault_value_ == v_state_) return FpClass::CFir;
     return to_bit(read_result_) == v_state_ ? FpClass::CFdr : FpClass::CFrd;
@@ -196,6 +213,7 @@ std::string FaultPrimitive::name() const {
     case FpClass::RDF:
     case FpClass::DRDF:
     case FpClass::IRF:
+    case FpClass::DRF:
       out << to_char(v_state_);
       break;
     case FpClass::TF:

@@ -19,6 +19,14 @@
 // IRF (incorrect read).  The two-cell (coupling) taxonomy: CFst (state),
 // CFds (disturb), CFtr (transition), CFwd (write destructive), CFrd (read
 // destructive), CFdr (deceptive read destructive), CFir (incorrect read).
+//
+// Data-retention faults extend the space with the wait sensitizer `t`
+// (Definition 2's wait operation): DRF <s t ; s̄ / -> — an un-refreshed cell
+// holding s decays to s̄ during a sufficiently long pause — and its coupled
+// variant CFrt <a ; v t / v̄ / -> where the decay additionally requires the
+// aggressor state.  A wait is modeled as long enough for the decay to
+// complete (the tester picks the pause length), so a single `t` sensitizes;
+// writing the cell re-establishes its level and thereby refreshes it.
 #pragma once
 
 #include <cstdint>
@@ -31,8 +39,9 @@
 namespace mtg {
 
 /// A sensitizing operation attached to one cell of a fault primitive.
-/// `Rd` is a read of the cell's current (pre-fault) value.
-enum class SenseOp : std::uint8_t { None, W0, W1, Rd };
+/// `Rd` is a read of the cell's current (pre-fault) value; `Wt` is the wait
+/// operation `t` pausing on the cell (data-retention sensitizer).
+enum class SenseOp : std::uint8_t { None, W0, W1, Rd, Wt };
 
 std::string to_string(SenseOp op);
 
@@ -51,6 +60,8 @@ enum class FpClass : std::uint8_t {
   CFrd,  ///< read destructive coupling fault   <a ; v r v / v̄ / v̄>
   CFdr,  ///< deceptive read destructive CF     <a ; v r v / v̄ / v>
   CFir,  ///< incorrect read coupling fault     <a ; v r v / v / v̄>
+  DRF,   ///< data-retention fault              <s t ; s̄ / ->
+  CFrt,  ///< retention coupling fault          <a ; v t / v̄ / ->
 };
 
 std::string to_string(FpClass c);
@@ -86,6 +97,8 @@ class FaultPrimitive {
   static FaultPrimitive cfrd(Bit a, Bit v);    ///< <a ; v r v / !v / !v>
   static FaultPrimitive cfdr(Bit a, Bit v);    ///< <a ; v r v / !v / v>
   static FaultPrimitive cfir(Bit a, Bit v);    ///< <a ; v r v / v / !v>
+  static FaultPrimitive drf(Bit state);        ///< <state t ; !state / ->
+  static FaultPrimitive cfrt(Bit a, Bit v);    ///< <a ; v t / !v / ->
 
   // -- Structure queries ------------------------------------------------
   int num_cells() const noexcept { return num_cells_; }
@@ -108,6 +121,10 @@ class FaultPrimitive {
   bool op_on_victim() const noexcept { return v_op_ != SenseOp::None; }
   /// True when the sensitizing operation acts on the aggressor cell.
   bool op_on_aggressor() const noexcept { return a_op_ != SenseOp::None; }
+
+  /// True when the FP is sensitized by the wait operation `t` (DRF / CFrt):
+  /// the fault class only a march test containing waits can reach.
+  bool is_retention() const noexcept { return v_op_ == SenseOp::Wt; }
 
   /// The sensitizing operation (None for state faults).
   SenseOp sense_op() const noexcept {

@@ -50,4 +50,22 @@ std::vector<FaultPrimitive> all_static_fps() {
   return fps;
 }
 
+std::vector<FaultPrimitive> all_retention_fps() {
+  std::vector<FaultPrimitive> fps;
+  for (Bit s : {Bit::Zero, Bit::One}) fps.push_back(FaultPrimitive::drf(s));
+  for (Bit a : {Bit::Zero, Bit::One}) {
+    for (Bit v : {Bit::Zero, Bit::One}) {
+      fps.push_back(FaultPrimitive::cfrt(a, v));
+    }
+  }
+  return fps;
+}
+
+std::vector<FaultPrimitive> all_fps() {
+  std::vector<FaultPrimitive> fps = all_static_fps();
+  std::vector<FaultPrimitive> retention = all_retention_fps();
+  fps.insert(fps.end(), retention.begin(), retention.end());
+  return fps;
+}
+
 }  // namespace mtg

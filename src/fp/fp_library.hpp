@@ -8,6 +8,11 @@
 //
 // These counts match the standard static FP space of van de Goor & Al-Ars
 // [12] (their "#FP = 12 single-cell, 36 two-cell" enumeration).
+//
+// Data-retention FPs (6) extend the space with the wait sensitizer `t`:
+//   DRF0 DRF1 plus the 4 coupled CFrt variants.  They are kept out of the
+// static counts above (which the literature fixes at 12 + 36) and exposed
+// through all_retention_fps().
 #pragma once
 
 #include <vector>
@@ -24,6 +29,14 @@ std::vector<FaultPrimitive> all_two_cell_static_fps();
 
 /// The union of the two sets above (48 FPs).
 std::vector<FaultPrimitive> all_static_fps();
+
+/// The 6 data-retention fault primitives: DRF0, DRF1 and the four CFrt
+/// coupled variants.  Only reachable by march tests containing `t` ops.
+std::vector<FaultPrimitive> all_retention_fps();
+
+/// all_static_fps() plus all_retention_fps() (54 FPs) — the full primitive
+/// space the simulator models.
+std::vector<FaultPrimitive> all_fps();
 
 /// The six aggressor sensitizers used by disturb coupling faults:
 /// 0w0, 0w1, 1w0, 1w1, 0r0, 1r1 as (state, op) pairs.

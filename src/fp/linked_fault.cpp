@@ -118,6 +118,9 @@ bool apply_sense_op(const FaultPrimitive& fp, std::size_t a_cell,
       const Bit observed = faulty.read(cell);
       return observed != expected;
     }
+    case SenseOp::Wt:
+      faulty.wait(cell);  // the fault-free machine is unaffected by a pause
+      return false;
     case SenseOp::None:
       break;
   }
@@ -237,6 +240,7 @@ std::vector<LinkedAfpPair> expand_linked_afps(
       case SenseOp::W0: return {AddressedOp{cell, Op::W0}};
       case SenseOp::W1: return {AddressedOp{cell, Op::W1}};
       case SenseOp::Rd: return {AddressedOp{cell, make_read(state.get(cell))}};
+      case SenseOp::Wt: return {AddressedOp{cell, Op::T}};
       case SenseOp::None: break;
     }
     throw InternalError("bound_op: unreachable");

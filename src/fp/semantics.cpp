@@ -64,7 +64,9 @@ Bit FaultyMemory::read(std::size_t address) {
   return apply(OpTarget::Read, address, Bit::Zero);
 }
 
-void FaultyMemory::wait() { apply(OpTarget::Wait, 0, Bit::Zero); }
+void FaultyMemory::wait(std::size_t address) {
+  apply(OpTarget::Wait, address, Bit::Zero);
+}
 
 std::size_t FaultyMemory::fire_count(std::size_t fault_index) const {
   require(fault_index < fire_counts_.size(), "fire_count: bad fault index");
@@ -99,7 +101,6 @@ bool FaultyMemory::op_matches(const BoundFp& bound, OpTarget target,
                               std::size_t address, Bit written) const {
   const FaultPrimitive& fp = bound.fp;
   if (fp.is_state_fault()) return false;  // handled by settle_state_faults
-  if (target == OpTarget::Wait) return false;
 
   const bool on_aggressor = fp.op_on_aggressor();
   const std::size_t sense_cell = on_aggressor ? bound.a_cell : bound.v_cell;
@@ -114,6 +115,9 @@ bool FaultyMemory::op_matches(const BoundFp& bound, OpTarget target,
       break;
     case SenseOp::Rd:
       if (target != OpTarget::Read) return false;
+      break;
+    case SenseOp::Wt:
+      if (target != OpTarget::Wait) return false;
       break;
     case SenseOp::None:
       return false;
@@ -158,8 +162,7 @@ void FaultyMemory::rearm_state_faults() {
 }
 
 Bit FaultyMemory::apply(OpTarget target, std::size_t address, Bit written) {
-  assert((target == OpTarget::Wait || address < state_.size()) &&
-         "operation address out of range");
+  assert(address < state_.size() && "operation address out of range");
   // Evaluate sensitizations against the pre-operation state (state_ is
   // still unmodified here), then apply the default effect and overrides.
   std::uint32_t matched = 0;

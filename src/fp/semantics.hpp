@@ -14,6 +14,13 @@
 //    makes Definition 7's I2 = Fv1 chaining work).  A fired FP forces the
 //    victim to its fault value F after the operation's normal effect; if the
 //    sensitizing operation is a read of the victim, the returned value is R.
+//  * The wait operation `t` is addressed like reads and writes: a march
+//    element applies it to every cell in turn, so each cell experiences the
+//    pause during its own visit.  A wait sensitizes retention FPs (DRF /
+//    CFrt, SenseOp::Wt) whose victim is the visited cell: the cell decays to
+//    its fault value.  Decay is idempotent (the decayed state no longer
+//    matches the sensitizing state), so the number of waits between
+//    refreshing writes does not matter — one models "a pause long enough".
 //  * State faults (SF / CFst) are edge-triggered: a state fault fires when
 //    its state condition *becomes* true; after firing it re-arms only once
 //    the condition has been false again.  Each fault instance fires at most
@@ -73,9 +80,10 @@ class FaultyMemory {
   /// Performs a read and returns the (possibly faulty) value.
   Bit read(std::size_t address);
 
-  /// Performs the wait operation `t` (no content change; state faults may
-  /// settle — relevant only for future data-retention extensions).
-  void wait();
+  /// Performs the wait operation `t` on the visited cell: retention FPs
+  /// whose victim is `address` decay it to their fault value (no default
+  /// content change otherwise).
+  void wait(std::size_t address);
 
   const MemoryState& state() const noexcept { return state_; }
 

@@ -7,7 +7,7 @@ namespace mtg {
 namespace {
 
 void dfs(std::vector<Op>& seq, Bit value, std::size_t max_len,
-         std::set<std::vector<Op>>& out) {
+         bool include_wait, std::set<std::vector<Op>>& out) {
   if (!seq.empty()) out.insert(seq);
   if (seq.size() >= max_len) return;
 
@@ -16,21 +16,28 @@ void dfs(std::vector<Op>& seq, Bit value, std::size_t max_len,
     return len >= 2 && seq[len - 1] == op && seq[len - 2] == op;
   };
 
-  for (Op op : {make_read(value), Op::W0, Op::W1}) {
+  std::vector<Op> alphabet = {make_read(value), Op::W0, Op::W1};
+  if (include_wait) alphabet.push_back(Op::T);
+  for (Op op : alphabet) {
     if (run_of_two(op)) continue;  // three identical ops in a row are useless
+    // Consecutive waits are idempotent: the first pause already decayed
+    // every retention victim this cell visit can decay.
+    if (is_wait(op) && !seq.empty() && is_wait(seq.back())) continue;
     seq.push_back(op);
-    dfs(seq, is_write(op) ? written_value(op) : value, max_len, out);
+    dfs(seq, is_write(op) ? written_value(op) : value, max_len, include_wait,
+        out);
     seq.pop_back();
   }
 }
 
 }  // namespace
 
-std::vector<MarchElement> enumerate_march_elements(std::size_t max_len) {
+std::vector<MarchElement> enumerate_march_elements(std::size_t max_len,
+                                                   bool include_wait) {
   std::set<std::vector<Op>> sequences;
   for (Bit entry : {Bit::Zero, Bit::One}) {
     std::vector<Op> seq;
-    dfs(seq, entry, max_len, sequences);
+    dfs(seq, entry, max_len, include_wait, sequences);
   }
   std::vector<MarchElement> pool;
   pool.reserve(sequences.size() * 2);

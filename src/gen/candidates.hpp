@@ -22,6 +22,12 @@ namespace mtg {
 /// observed by one read; a third identical operation in a row adds nothing),
 /// deduplicated, in both address orders.  max_len = 7 yields the element
 /// shapes used by the published linked-fault tests (March SL, March ABL).
-std::vector<MarchElement> enumerate_march_elements(std::size_t max_len);
+///
+/// With `include_wait` the alphabet additionally contains the wait op `t`
+/// (needed to sensitize data-retention faults); consecutive waits are pruned
+/// because decay is idempotent — a second pause with no access in between
+/// adds nothing.
+std::vector<MarchElement> enumerate_march_elements(std::size_t max_len,
+                                                   bool include_wait = false);
 
 }  // namespace mtg

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "gen/candidates.hpp"
 #include "gen/minimizer.hpp"
 #include "sim/fault_instance.hpp"
@@ -109,12 +110,12 @@ class GreedyEngine {
   /// returns true to abandon the evaluation (result is then a lower bound).
   template <typename AbortFn>
   std::size_t gain(const MarchElement& candidate, const ElementTrace& trace,
-                   AbortFn abort_below) {
+                   AbortFn abort_below) const {
     const std::uint64_t down =
         candidate.order() == AddressOrder::Down ? ~std::uint64_t{0} : 0;
     std::size_t g = 0;
     std::size_t remaining = undetected_scenarios();
-    for (Item& item : items_) {
+    for (const Item& item : items_) {
       if (item.done) continue;
       for (const PackedFaultSim::Lanes& block : item.blocks) {
         const std::size_t undetected =
@@ -168,12 +169,17 @@ class GreedyEngine {
 };
 
 /// The greedy loop of Figure 5: append the best-scoring valid SO until the
-/// engine's fault set is covered or no candidate helps.  Returns the fault
+/// engine's fault set is covered or no candidate helps.  Candidate gains are
+/// evaluated in parallel on `workers` (candidates are independent; each
+/// candidate's gain reduces by sum over its instance blocks); the reduction
+/// runs sequentially in pool order, so the selected element — and hence the
+/// generated test — is identical for every thread count.  Returns the fault
 /// indices reported uncoverable (step d.i).
 std::set<std::size_t> greedy_cover(GreedyEngine& engine,
                                    const std::vector<MarchElement>& pool,
                                    MarchTest& test,
                                    const GeneratorOptions& options,
+                                   ThreadPool& workers,
                                    GenerationStats& stats) {
   auto final_value = [&]() -> std::optional<Bit> {
     std::optional<Bit> value;
@@ -196,26 +202,54 @@ std::set<std::size_t> greedy_cover(GreedyEngine& engine,
 
   while (engine.undetected_instances() > 0 &&
          stats.greedy_rounds < options.max_rounds) {
+    // Candidates compatible with the memory state the test leaves behind.
+    std::vector<std::size_t> eligible;
+    eligible.reserve(pool.size());
+    for (std::size_t c = 0; c < pool.size(); ++c) {
+      if (auto entry = pool[c].required_entry_value()) {
+        if (!current_final.has_value() || *entry != *current_final) continue;
+      }
+      eligible.push_back(c);
+    }
+
+    // Parallel gain scan.  Each worker prunes against its own running best
+    // score — a lower bound of the global maximum, so pruning only abandons
+    // candidates that cannot win.  The bound is compared strictly: a
+    // candidate whose exact score ties the eventual winner is never aborted
+    // (its upper bound so_far + remaining never drops *below* its exact
+    // gain), so every candidate that can win the score/gain/cost tie-breaks
+    // reports its exact gain and the reduction below is schedule-invariant.
+    std::vector<std::size_t> gains(eligible.size(), 0);
+    std::vector<double> local_best(workers.num_workers() + 1, 0.0);
+    workers.parallel_for(
+        eligible.size(), /*chunk=*/8,
+        [&](std::size_t worker, std::size_t begin, std::size_t end) {
+          double& bound = local_best[worker];
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::size_t c = eligible[i];
+            const double cost = static_cast<double>(pool[c].cost());
+            gains[i] = engine.gain(
+                pool[c], pool_traces[c],
+                [&](std::size_t so_far, std::size_t remaining) {
+                  return static_cast<double>(so_far + remaining) / cost <
+                         bound;
+                });
+            bound = std::max(bound, static_cast<double>(gains[i]) / cost);
+          }
+        });
+
+    // Deterministic reduction in pool order.
     const MarchElement* best = nullptr;
     const ElementTrace* best_trace = nullptr;
     std::size_t best_gain = 0;
     double best_score = 0.0;
-
-    for (std::size_t c = 0; c < pool.size(); ++c) {
-      const MarchElement& candidate = pool[c];
-      if (auto entry = candidate.required_entry_value()) {
-        if (!current_final.has_value() || *entry != *current_final) continue;
-      }
-      // Prune: abandon a candidate once even detecting every remaining
-      // scenario cannot beat the best score seen so far.
-      const double cost = static_cast<double>(candidate.cost());
-      const std::size_t g = engine.gain(
-          candidate, pool_traces[c],
-          [&](std::size_t so_far, std::size_t remaining) {
-            return static_cast<double>(so_far + remaining) / cost <= best_score;
-          });
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      const std::size_t c = eligible[i];
+      const std::size_t g = gains[i];
       if (g == 0) continue;
-      const double score = static_cast<double>(g) / cost;
+      const MarchElement& candidate = pool[c];
+      const double score =
+          static_cast<double>(g) / static_cast<double>(candidate.cost());
       const bool better =
           best == nullptr || score > best_score ||
           (score == best_score &&
@@ -284,9 +318,15 @@ GenerationResult generate_march_test(const FaultList& list,
         " s");
   };
 
-  const std::vector<MarchElement> pool =
-      enumerate_march_elements(options.max_element_length);
+  // The wait op only helps against retention faults; including it otherwise
+  // would grow the candidate pool (and every gain scan) for nothing.
+  const std::vector<MarchElement> pool = enumerate_march_elements(
+      options.max_element_length, targets_retention(list));
   stats.candidate_pool = pool.size();
+
+  // Shared gain-scan pool; the calling thread participates in every scan.
+  ThreadPool workers(ThreadPool::resolve_thread_count(options.gain_threads) -
+                     1);
 
   // Seed: the canonical initialization element ⇕(w0).
   MarchTest test("generated", {MarchElement(AddressOrder::Any, {Op::W0})});
@@ -302,7 +342,7 @@ GenerationResult generate_march_test(const FaultList& list,
     stats.log.push_back("phase A: " + std::to_string(working.size()) +
                         " instances at n=" +
                         std::to_string(options.working_memory_size));
-    auto stalled = greedy_cover(engine, pool, test, options, stats);
+    auto stalled = greedy_cover(engine, pool, test, options, workers, stats);
     uncoverable.insert(stalled.begin(), stalled.end());
   }
   lap("phase A (greedy)");
@@ -334,7 +374,8 @@ GenerationResult generate_march_test(const FaultList& list,
                           std::to_string(options.certify_memory_size));
       GreedyEngine engine(options.certify_memory_size, std::move(missed), test,
                           options.both_power_on_states);
-      auto stalled = greedy_cover(engine, pool, test, options, stats);
+      auto stalled =
+          greedy_cover(engine, pool, test, options, workers, stats);
       uncoverable.insert(stalled.begin(), stalled.end());
     }
   };

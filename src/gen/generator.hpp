@@ -56,6 +56,11 @@ struct GeneratorOptions {
   /// SimulatorOptions::both_power_on_states; applies to the greedy engine
   /// and the certification/minimization simulators alike.
   bool both_power_on_states = true;
+  /// Threads for the greedy engine's candidate gain scan (candidates are
+  /// independent; each round spreads them over a bounded pool).  0 picks the
+  /// hardware concurrency, 1 runs the scan on the calling thread.  The
+  /// generated test is identical for every thread count.
+  std::size_t gain_threads = 0;
 };
 
 struct GenerationStats {

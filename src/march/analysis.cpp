@@ -23,6 +23,7 @@ std::string MarchProfile::to_string() const {
   flag("double read (DRDF)", double_read);
   flag("⇑ sensitizing read (a<v CF observation)", up_sensitizing_read);
   flag("⇓ sensitizing read (v<a CF observation)", down_sensitizing_read);
+  flag("observed retention wait (DRF)", retention_observed);
   return out.str();
 }
 
@@ -44,12 +45,16 @@ MarchProfile analyze(const MarchTest& test) {
   std::optional<Bit> pending_tf;  // last write was a transition to this value
   std::optional<Bit> pending_wdf; // last write was non-transition on this value
   std::optional<Bit> last_read;   // value seen by the immediately preceding read
+  std::optional<Bit> pending_drf; // cell sat through a wait holding this value
 
   for (const MarchElement& element : test.elements()) {
     bool wrote_in_element = false;
     for (const Op op : element.ops()) {
       if (is_wait(op)) {
         ++profile.waits;
+        // The cell holds `value` through the pause; a later read of that
+        // value (before a refreshing write) observes DRF decay.
+        if (value.has_value()) pending_drf = value;
         continue;
       }
       if (is_write(op)) {
@@ -66,6 +71,7 @@ MarchProfile analyze(const MarchTest& test) {
         }
         value = d;
         last_read.reset();
+        pending_drf.reset();  // a write refreshes the retention state
         wrote_in_element = true;
         continue;
       }
@@ -85,6 +91,9 @@ MarchProfile analyze(const MarchTest& test) {
         }
         if (last_read.has_value() && *last_read == *expected) {
           profile.double_read[d] = true;
+        }
+        if (pending_drf.has_value() && *pending_drf == *expected) {
+          profile.retention_observed[d] = true;
         }
         if (!wrote_in_element) {
           // A read before any write of the element observes the victim in
@@ -139,6 +148,19 @@ std::vector<std::string> structural_gaps(const MarchTest& test) {
       gaps.push_back(std::string("no ⇓ element starting with r") + polarity +
                      ": CFs with v<a sensitized at value " + polarity +
                      " escape");
+    }
+  }
+  return gaps;
+}
+
+std::vector<std::string> retention_gaps(const MarchTest& test) {
+  const MarchProfile profile = analyze(test);
+  std::vector<std::string> gaps;
+  for (int d = 0; d < 2; ++d) {
+    const char polarity = d == 0 ? '0' : '1';
+    if (!profile.retention_observed[d]) {
+      gaps.push_back(std::string("no observed wait while holding ") +
+                     polarity + ": DRF" + polarity + " escapes");
     }
   }
   return gaps;

@@ -34,6 +34,7 @@ struct MarchProfile {
   bool double_read[2] = {false, false};           ///< r d immediately re-read (DRDF)
   bool up_sensitizing_read[2] = {false, false};   ///< ⇑ element reads d before writes
   bool down_sensitizing_read[2] = {false, false}; ///< ⇓ element reads d before writes
+  bool retention_observed[2] = {false, false};    ///< t while holding d ... r d (DRF)
 
   std::string to_string() const;
 };
@@ -50,5 +51,12 @@ MarchProfile analyze(const MarchTest& test);
 /// heuristics, not impossibility proofs — linked-fault effects can surface
 /// through reads the profile does not credit (see March RABL).
 std::vector<std::string> structural_gaps(const MarchTest& test);
+
+/// Like structural_gaps, but for the data-retention capability: reports the
+/// polarities for which the test never lets a cell sit through a wait and
+/// then reads it back (DRF escapes).  Kept separate from structural_gaps
+/// because the classic static-fault tests (March SS/SL/...) intentionally
+/// contain no waits.
+std::vector<std::string> retention_gaps(const MarchTest& test);
 
 }  // namespace mtg

@@ -141,4 +141,12 @@ std::vector<MarchTest> linked_fault_catalog_tests() {
           march_rabl(), march_abl1()};
 }
 
+std::vector<MarchTest> retention_catalog_tests() {
+  std::vector<MarchTest> tests;
+  for (MarchTest& test : all_catalog_tests()) {
+    if (test.contains_wait()) tests.push_back(std::move(test));
+  }
+  return tests;
+}
+
 }  // namespace mtg

@@ -53,4 +53,8 @@ std::vector<MarchTest> all_catalog_tests();
 /// The subset of catalog tests that target linked faults.
 std::vector<MarchTest> linked_fault_catalog_tests();
 
+/// The subset of catalog tests containing wait (`t`) operations — the only
+/// ones able to sensitize data-retention faults.
+std::vector<MarchTest> retention_catalog_tests();
+
 }  // namespace mtg

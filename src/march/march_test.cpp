@@ -21,6 +21,15 @@ std::string MarchTest::complexity_label() const {
   return std::to_string(complexity()) + "n";
 }
 
+bool MarchTest::contains_wait() const noexcept {
+  for (const MarchElement& e : elements_) {
+    for (const Op op : e.ops()) {
+      if (is_wait(op)) return true;
+    }
+  }
+  return false;
+}
+
 std::string MarchTest::consistency_violation() const {
   std::optional<Bit> value;  // uniform memory value between elements; nullopt = unknown
   for (std::size_t i = 0; i < elements_.size(); ++i) {

@@ -33,6 +33,10 @@ class MarchTest {
   /// "41n"-style complexity label.
   std::string complexity_label() const;
 
+  /// True when some element contains the wait op `t` — a prerequisite for
+  /// covering data-retention faults.
+  bool contains_wait() const noexcept;
+
   /// Structural well-formedness check: every element's expected entry value
   /// (first read before any write) must match the previous element's final
   /// value, and the first element must not expect a value on the

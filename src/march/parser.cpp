@@ -61,6 +61,14 @@ class Scanner {
       }
       pos_ -= 3;
     }
+    // A dangling operation token (e.g. a bare "t" or "r0,w1" outside any
+    // element) deserves a pointed diagnostic: it is the most common way to
+    // write a wait in the wrong place.
+    if (pos_ < text_.size() &&
+        std::isalnum(static_cast<unsigned char>(text_[pos_]))) {
+      fail("expected an address order marker (^, v, c or an arrow); "
+           "operations must appear inside order(...) elements");
+    }
     fail("expected an address order marker (^, v, c or an arrow)");
   }
 
@@ -95,6 +103,8 @@ MarchElement read_element(Scanner& scanner) {
   AddressOrder order = scanner.read_order();
   scanner.skip_space();
   scanner.expect('(');
+  scanner.skip_space();
+  if (scanner.peek() == ')') scanner.fail("empty march element");
   std::vector<Op> ops;
   ops.push_back(scanner.read_op());
   scanner.skip_space();
@@ -102,7 +112,9 @@ MarchElement read_element(Scanner& scanner) {
     ops.push_back(scanner.read_op());
     scanner.skip_space();
   }
-  scanner.expect(')');
+  if (!scanner.consume(')')) {
+    scanner.fail("expected ',' or ')' (unbalanced parentheses?)");
+  }
   return MarchElement(order, std::move(ops));
 }
 
@@ -111,8 +123,7 @@ MarchElement read_element(Scanner& scanner) {
 MarchElement parse_march_element(std::string_view text) {
   Scanner scanner(text);
   MarchElement element = read_element(scanner);
-  require(scanner.done(), "trailing characters after march element in \"" +
-                              std::string(text) + "\"");
+  if (!scanner.done()) scanner.fail("trailing characters after march element");
   return element;
 }
 
@@ -125,10 +136,16 @@ MarchTest parse_march_test(std::string_view text, std::string name) {
     elements.push_back(read_element(scanner));
     scanner.skip_space();
   }
-  if (braced) scanner.expect('}');
-  require(scanner.done(), "trailing characters after march test in \"" +
-                              std::string(text) + "\"");
-  require(!elements.empty(), "march test has no elements: \"" + std::string(text) + "\"");
+  if (braced) {
+    if (!scanner.consume('}')) {
+      scanner.fail("expected '}' closing the march test (unbalanced braces?)");
+    }
+  } else if (scanner.peek() == '}') {
+    scanner.fail("unmatched '}' (the march test has no opening '{')");
+  }
+  if (!scanner.done()) scanner.fail("trailing characters after march test");
+  require(!elements.empty(),
+          "march test has no elements: \"" + std::string(text) + "\"");
   return MarchTest(std::move(name), std::move(elements));
 }
 

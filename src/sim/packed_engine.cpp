@@ -228,30 +228,29 @@ void PackedFaultSim::power_on(Lanes& lanes, std::uint64_t active,
 void PackedFaultSim::apply_op(Lanes& lanes, Op op, std::size_t slot,
                               std::uint64_t group,
                               std::uint64_t expected) const {
-  // Waits address no cell: they cannot sensitize an op FP, and the scalar
-  // settle after them is a no-op (armed ⇒ condition false — see the header).
-  if (is_wait(op)) return;
   const bool read = is_read(op);
 
   // 1. Sensitization on the pre-op state (scalar op_matches).  The op kind
   //    and target address are lane-invariant; only the state condition is a
-  //    per-lane word.
+  //    per-lane word.  Waits sensitize the retention FPs (SenseOp::Wt) of
+  //    the visited slot, exactly like the scalar machine's wait(address).
+  const SenseOp kind = read ? SenseOp::Rd
+                       : is_wait(op)
+                           ? SenseOp::Wt
+                           : (op == Op::W1 ? SenseOp::W1 : SenseOp::W0);
   std::array<std::uint64_t, kMaxFps> matched{};
   for (std::size_t i = 0; i < num_fps_; ++i) {
     const Fp& fp = fps_[i];
     if (fp.state_fault || fp.sense_slot != slot) continue;
-    const bool kind_matches =
-        read ? fp.sense == SenseOp::Rd
-             : fp.sense == (op == Op::W1 ? SenseOp::W1 : SenseOp::W0);
-    if (!kind_matches) continue;
+    if (fp.sense != kind) continue;
     matched[i] = group & condition_word(lanes, fp);
   }
 
   // 2. A read returns the pre-op faulty value unless overridden below.
   std::uint64_t out = lanes.val[slot];
 
-  // 3. Default operation effect.
-  if (!read) {
+  // 3. Default operation effect (waits leave the content untouched).
+  if (is_write(op)) {
     if (op == Op::W1) {
       lanes.val[slot] |= group;
     } else {

@@ -49,9 +49,12 @@
 //     "armed ⇒ condition false" at the end of every apply()/power_on()
 //     (settle runs to fixpoint, then re-arm only arms false conditions), and
 //     an op on an uninvolved cell changes no involved cell, so no condition
-//     can have become true.  Wait operations (`t`) are no-ops for the same
-//     reason.  Skipping these operations is therefore exact, not an
-//     approximation.
+//     can have become true.  Wait operations (`t`) are addressed at the
+//     visited cell like reads and writes (fp/semantics.hpp): a wait at an
+//     uninvolved cell sensitizes nothing (retention FPs decay their victim,
+//     an involved cell) and changes no state, while a wait at an involved
+//     cell is replayed exactly.  Skipping uninvolved-cell operations is
+//     therefore exact, not an approximation.
 //  3. Positional correction: within a march element the involved cells must
 //     be visited in sweep order — ascending addresses for ⇑ lanes,
 //     descending for ⇓ lanes.  run_element() partitions the lanes of a block

@@ -123,7 +123,7 @@ std::optional<DetectionEvent> FaultSimulator::run_scenario(
             return DetectionEvent{e, address, i, expected, observed};
           }
         } else {
-          faulty.wait();
+          faulty.wait(address);
         }
       }
     }

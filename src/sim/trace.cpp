@@ -82,7 +82,7 @@ Trace trace_run(const MarchTest& test, const FaultInstance& instance,
           const Bit observed = faulty.read(address);
           record.mismatch = observed != expected;
         } else {
-          faulty.wait();
+          faulty.wait(address);
         }
         record.fired = faulty.total_fires() > fires_before;
         fires_before = faulty.total_fires();

@@ -66,5 +66,23 @@ TEST(FpLibrary, EveryFpHasDistinctNotation) {
   EXPECT_EQ(notations.size(), 48u);
 }
 
+TEST(FpLibrary, RetentionFps) {
+  // DRF0, DRF1 plus the four CFrt variants; disjoint from the static space.
+  const auto retention = all_retention_fps();
+  ASSERT_EQ(retention.size(), 6u);
+  std::map<FpClass, int> histogram;
+  for (const FaultPrimitive& fp : retention) {
+    EXPECT_TRUE(fp.is_retention()) << fp.notation();
+    ++histogram[fp.classify()];
+  }
+  EXPECT_EQ(histogram[FpClass::DRF], 2);
+  EXPECT_EQ(histogram[FpClass::CFrt], 4);
+
+  const auto everything = all_fps();
+  EXPECT_EQ(everything.size(), 54u);
+  std::set<FaultPrimitive> unique(everything.begin(), everything.end());
+  EXPECT_EQ(unique.size(), 54u);
+}
+
 }  // namespace
 }  // namespace mtg

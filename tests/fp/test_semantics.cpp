@@ -23,7 +23,7 @@ TEST(FaultyMemory, FaultFreeBehaviour) {
   EXPECT_EQ(memory.read(1), Bit::Zero);
   memory.write(2, Bit::Zero);
   EXPECT_EQ(memory.read(2), Bit::Zero);
-  memory.wait();
+  memory.wait(0);
   EXPECT_EQ(memory.state().to_string(), "0000");
   EXPECT_EQ(memory.total_fires(), 0u);
 }

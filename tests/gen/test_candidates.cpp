@@ -97,5 +97,25 @@ TEST(Candidates, PoolGrowsMonotonicallyWithLength) {
             enumerate_march_elements(5).size());
 }
 
+TEST(Candidates, WaitOpsOnlyWhenRequested) {
+  for (const MarchElement& e : enumerate_march_elements(4)) {
+    for (const Op op : e.ops()) EXPECT_FALSE(is_wait(op)) << e.to_string();
+  }
+  std::set<std::string> shapes;
+  for (const MarchElement& e :
+       enumerate_march_elements(4, /*include_wait=*/true)) {
+    // Consecutive waits are pruned (decay is idempotent).
+    for (std::size_t i = 1; i < e.ops().size(); ++i) {
+      EXPECT_FALSE(is_wait(e.ops()[i]) && is_wait(e.ops()[i - 1]))
+          << e.to_string();
+    }
+    if (e.order() == AddressOrder::Up) shapes.insert(to_string(e.ops()));
+  }
+  EXPECT_TRUE(shapes.count("t,r0"));        // the DRF detector
+  EXPECT_TRUE(shapes.count("w1,t,r1"));     // refresh, pause, observe
+  EXPECT_GT(enumerate_march_elements(4, true).size(),
+            enumerate_march_elements(4).size());
+}
+
 }  // namespace
 }  // namespace mtg

@@ -45,6 +45,23 @@ TEST(Generator, Deterministic) {
   EXPECT_EQ(a.test, b.test);
 }
 
+TEST(Generator, GainScanThreadCountDoesNotChangeTheTest) {
+  // The parallel gain scan must keep generated tests identical for every
+  // worker count: per-worker pruning only abandons candidates that cannot
+  // win and the reduction runs in pool order.
+  GeneratorOptions sequential = fast_options();
+  sequential.gain_threads = 1;
+  const GenerationResult reference =
+      generate_march_test(fault_list_2(), sequential);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+    GeneratorOptions options = fast_options();
+    options.gain_threads = threads;
+    const GenerationResult result = generate_march_test(fault_list_2(), options);
+    EXPECT_EQ(reference.test, result.test) << "gain_threads=" << threads;
+    EXPECT_EQ(reference.stats.greedy_rounds, result.stats.greedy_rounds);
+  }
+}
+
 TEST(Generator, CoversTheRunningExampleList) {
   FaultList list;
   list.name = "paper running example";

@@ -1,0 +1,90 @@
+// Parser hardening: malformed march notation must be rejected with a
+// position-annotated mtg::Error, never silently mis-parsed.
+#include "march/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mtg {
+namespace {
+
+/// The parser must throw an Error whose message contains `expected_part`
+/// and the offending offset marker.
+void expect_parse_error(const std::string& text,
+                        const std::string& expected_part) {
+  try {
+    parse_march_test(text);
+    FAIL() << "no error for \"" << text << "\"";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(expected_part), std::string::npos)
+        << "\"" << text << "\" produced: " << message;
+  }
+}
+
+TEST(ParserErrors, UnbalancedParentheses) {
+  expect_parse_error("^(r0,w1", "unbalanced parentheses");
+  expect_parse_error("{c(w0); ^(r0,w1}", "unbalanced parentheses");
+  expect_parse_error("^((r0))", "expected an operation token");
+  expect_parse_error("^(r0))", "expected an address order marker");
+}
+
+TEST(ParserErrors, UnbalancedBraces) {
+  expect_parse_error("{c(w0); ^(r0,w1)", "expected '}'");
+  expect_parse_error("c(w0)}", "unmatched '}'");
+  expect_parse_error("{{c(w0)}}", "expected an address order marker");
+}
+
+TEST(ParserErrors, EmptyElementsAndTests) {
+  expect_parse_error("^()", "empty march element");
+  expect_parse_error("{c(w0); v()}", "empty march element");
+  expect_parse_error("", "march test has no elements");
+  expect_parse_error("{}", "march test has no elements");
+  expect_parse_error("  ;  ", "march test has no elements");
+}
+
+TEST(ParserErrors, DanglingOperations) {
+  // A bare wait (or any op) outside an element must not be skipped.
+  expect_parse_error("t", "operations must appear inside order(...) elements");
+  expect_parse_error("c(w0) t", "operations must appear");
+  expect_parse_error("c(w0); r0,w1", "operations must appear");
+  // Dangling separators inside an element.
+  expect_parse_error("^(r0,)", "expected an operation token");
+  expect_parse_error("^(,r0)", "expected an operation token");
+  expect_parse_error("^(t,)", "expected an operation token");
+}
+
+TEST(ParserErrors, UnknownTokens) {
+  expect_parse_error("^(x1)", "unknown memory operation token");
+  expect_parse_error("^(r2)", "unknown memory operation token");
+  expect_parse_error("^(r0w1)", "unknown memory operation token");
+  expect_parse_error("^(w0) >(r0)", "expected an address order marker");
+}
+
+TEST(ParserErrors, TrailingGarbage) {
+  expect_parse_error("{c(w0)} extra", "trailing characters");
+  EXPECT_THROW(parse_march_element("^(r0) v(r1)"), Error);
+}
+
+TEST(ParserErrors, MessagesCarryTheOffset) {
+  try {
+    parse_march_test("{c(w0); ^(r0,zz)}");
+    FAIL() << "no error";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("offset 13"), std::string::npos) << message;
+    EXPECT_NE(message.find("{c(w0); ^(r0,zz)}"), std::string::npos) << message;
+  }
+}
+
+TEST(ParserErrors, WellFormedInputStillParses) {
+  // Hardening must not reject the accepted grammar.
+  EXPECT_NO_THROW(parse_march_test("{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}"));
+  EXPECT_NO_THROW(parse_march_test("c(w0) ^(r0,w1) v(r1,w0)"));
+  EXPECT_NO_THROW(parse_march_test("{c(w0); c(t,r0,w1,r1)}"));
+  EXPECT_NO_THROW(parse_march_test("  {  c ( w0 ) ;  ^ ( r0 , w1 ) }  "));
+}
+
+}  // namespace
+}  // namespace mtg

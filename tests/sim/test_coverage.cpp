@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "common/error.hpp"
+#include "fp/fault_list.hpp"
 #include "march/catalog.hpp"
 #include "march/parser.hpp"
 #include "memory/pattern_graph.hpp"
@@ -87,6 +90,50 @@ TEST(Coverage, EmptyListIsVacuouslyCovered) {
       evaluate_coverage(simulator, mats_plus(), empty);
   EXPECT_TRUE(report.full_coverage());
   EXPECT_DOUBLE_EQ(report.fault_coverage_percent(), 100.0);
+}
+
+void expect_same_report(const CoverageReport& a, const CoverageReport& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.entries.size(), b.entries.size()) << label;
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    const CoverageEntry& x = a.entries[i];
+    const CoverageEntry& y = b.entries[i];
+    EXPECT_EQ(x.fault_index, y.fault_index) << label << " entry " << i;
+    EXPECT_EQ(x.fault, y.fault) << label << " entry " << i;
+    EXPECT_EQ(x.instances, y.instances) << label << " entry " << i;
+    EXPECT_EQ(x.detected, y.detected) << label << " entry " << i;
+    EXPECT_EQ(x.covered, y.covered) << label << " entry " << i;
+    EXPECT_EQ(x.escape_description, y.escape_description)
+        << label << " entry " << i;
+  }
+  EXPECT_EQ(a.summary(), b.summary()) << label;
+}
+
+TEST(Coverage, DeterministicAcrossThreadCounts) {
+  // The coverage matrix must be identical for every worker count — counts,
+  // per-fault verdicts and the reported first escaping instance alike —
+  // and must match the sequential scalar oracle.
+  const MarchTest test = march_c_minus();  // partial coverage: real escapes
+  const FaultList list = fault_list_2();
+
+  SimulatorOptions scalar_options;
+  scalar_options.memory_size = 6;
+  scalar_options.use_packed_engine = false;
+  const CoverageReport reference =
+      evaluate_coverage(FaultSimulator(scalar_options), test, list);
+  EXPECT_FALSE(reference.full_coverage());
+
+  const std::size_t hardware = std::thread::hardware_concurrency();
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              hardware == 0 ? std::size_t{4} : hardware}) {
+    SimulatorOptions options;
+    options.memory_size = 6;
+    options.coverage_threads = threads;
+    const CoverageReport report =
+        evaluate_coverage(FaultSimulator(options), test, list);
+    expect_same_report(reference, report,
+                       "threads=" + std::to_string(threads));
+  }
 }
 
 }  // namespace

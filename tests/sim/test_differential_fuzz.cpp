@@ -1,0 +1,259 @@
+// Randomized differential testing of the packed engine against the scalar
+// reference machine.
+//
+// Each case draws a seeded random march test (random orders including ⇕,
+// random operations including waits) and a random fault instance (random
+// FP bindings over the full static + retention FP space, or a random
+// instance of a real linked fault), then asserts that the packed engine and
+// the scalar oracle agree on the verdict *and* the diagnostics (first
+// detection event, first escaping scenario).
+//
+// Reproducibility: every case derives from a single 64-bit seed printed on
+// failure.  Replay one case with MTG_FUZZ_SEED=<seed>; change the case count
+// with MTG_FUZZ_CASES=<n> (the sanitizer CI job runs a reduced count).
+// Failing cases are shrunk (drop march elements, ops, then fault primitives)
+// before being reported.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fp/fault_list.hpp"
+#include "fp/fp_library.hpp"
+#include "march/march_test.hpp"
+#include "sim/fault_instance.hpp"
+#include "sim/simulator.hpp"
+
+namespace mtg {
+namespace {
+
+// splitmix64: tiny, stdlib-independent PRNG so the same seed reproduces the
+// same case on every platform (std::uniform_int_distribution is not
+// portable across standard libraries).
+struct Rng {
+  std::uint64_t state;
+
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform-ish integer in [0, bound); bound must be non-zero.
+  std::size_t below(std::size_t bound) {
+    return static_cast<std::size_t>(next() % bound);
+  }
+
+  bool coin() { return (next() & 1u) != 0; }
+};
+
+struct FuzzCase {
+  std::size_t memory_size = 4;
+  bool both_power_on_states = true;
+  MarchTest test;
+  FaultInstance instance;
+};
+
+MarchTest random_march_test(Rng& rng) {
+  static const Op kOps[] = {Op::W0, Op::W1, Op::R0, Op::R1, Op::R, Op::T};
+  static const AddressOrder kOrders[] = {AddressOrder::Up, AddressOrder::Down,
+                                         AddressOrder::Any};
+  const std::size_t num_elements = 1 + rng.below(5);
+  std::vector<MarchElement> elements;
+  std::size_t any_count = 0;
+  for (std::size_t e = 0; e < num_elements; ++e) {
+    AddressOrder order = kOrders[rng.below(3)];
+    if (order == AddressOrder::Any && any_count >= 4) order = AddressOrder::Up;
+    if (order == AddressOrder::Any) ++any_count;
+    const std::size_t num_ops = 1 + rng.below(5);
+    std::vector<Op> ops;
+    ops.reserve(num_ops);
+    for (std::size_t i = 0; i < num_ops; ++i) ops.push_back(kOps[rng.below(6)]);
+    elements.emplace_back(order, std::move(ops));
+  }
+  return MarchTest("fuzz", std::move(elements));
+}
+
+/// Random 1- or 2-FP binding over the full FP space (the pair need not form
+/// a valid linked fault: the semantics engine accepts arbitrary bound sets
+/// and the two paths must agree on all of them).
+FaultInstance random_binding(Rng& rng, std::size_t n,
+                             const std::vector<FaultPrimitive>& fps) {
+  FaultInstance instance;
+  const std::size_t count = 1 + rng.below(2);
+  for (std::size_t i = 0; i < count; ++i) {
+    const FaultPrimitive& fp = fps[rng.below(fps.size())];
+    std::size_t v = rng.below(n);
+    std::size_t a = v;
+    if (fp.is_two_cell()) {
+      a = rng.below(n - 1);
+      if (a >= v) ++a;  // distinct aggressor
+    }
+    instance.fps.push_back(BoundFp(fp, a, v));
+  }
+  std::ostringstream description;
+  for (const BoundFp& bound : instance.fps) description << bound.to_string() << "; ";
+  instance.description = description.str();
+  return instance;
+}
+
+/// Random concrete instance of a real linked fault (masking pairs).
+FaultInstance random_linked_instance(Rng& rng, std::size_t n,
+                                     const std::vector<LinkedFault>& pool) {
+  const LinkedFault& lf = pool[rng.below(pool.size())];
+  const std::vector<FaultInstance> instances = instantiate(lf, n, 0);
+  return instances[rng.below(instances.size())];
+}
+
+FuzzCase make_case(std::uint64_t seed, const std::vector<FaultPrimitive>& fps,
+                   const std::vector<LinkedFault>& linked) {
+  Rng rng(seed);
+  FuzzCase fuzz;
+  fuzz.memory_size = 3 + rng.below(6);  // 3..8 cells
+  fuzz.both_power_on_states = rng.coin();
+  fuzz.test = random_march_test(rng);
+  fuzz.instance = rng.coin()
+                      ? random_binding(rng, fuzz.memory_size, fps)
+                      : random_linked_instance(rng, fuzz.memory_size, linked);
+  return fuzz;
+}
+
+/// Canonical string of everything the two paths must agree on.
+std::string verdict_string(const DetectionResult& result) {
+  std::ostringstream out;
+  out << (result.detected ? "detected" : "escaped");
+  if (result.first_event.has_value()) {
+    out << " | first: " << result.first_event->to_string();
+  }
+  if (result.escape_scenario.has_value()) {
+    out << " | escape: power-on " << to_char(result.escape_scenario->first)
+        << " mask " << result.escape_scenario->second;
+  }
+  return out.str();
+}
+
+/// Runs both paths; returns a non-empty explanation on divergence.
+std::string divergence(const FuzzCase& fuzz) {
+  SimulatorOptions options;
+  options.memory_size = fuzz.memory_size;
+  options.both_power_on_states = fuzz.both_power_on_states;
+  const FaultSimulator simulator(options);
+
+  const DetectionResult packed = simulator.simulate(fuzz.test, fuzz.instance);
+  const DetectionResult scalar =
+      simulator.simulate_scalar(fuzz.test, fuzz.instance);
+  const std::string packed_verdict = verdict_string(packed);
+  const std::string scalar_verdict = verdict_string(scalar);
+  if (packed_verdict != scalar_verdict) {
+    return "simulate mismatch:\n  packed: " + packed_verdict +
+           "\n  scalar: " + scalar_verdict;
+  }
+  // The fast path (early exit at the first escaping block) must agree too.
+  if (simulator.detects(fuzz.test, fuzz.instance) !=
+      simulator.detects_scalar(fuzz.test, fuzz.instance)) {
+    return "detects() disagrees with detects_scalar()";
+  }
+  return {};
+}
+
+/// Greedy shrink: drop march elements, then single ops, then bound FPs, as
+/// long as the divergence persists.
+FuzzCase shrink(FuzzCase fuzz) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t e = 0; e < fuzz.test.elements().size(); ++e) {
+      if (fuzz.test.elements().size() == 1) break;
+      FuzzCase trial = fuzz;
+      trial.test.elements().erase(trial.test.elements().begin() + e);
+      if (!divergence(trial).empty()) {
+        fuzz = std::move(trial);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    for (std::size_t e = 0; e < fuzz.test.elements().size() && !changed; ++e) {
+      const MarchElement& element = fuzz.test.elements()[e];
+      if (element.ops().size() == 1) continue;
+      for (std::size_t i = 0; i < element.ops().size(); ++i) {
+        std::vector<Op> ops = element.ops();
+        ops.erase(ops.begin() + i);
+        FuzzCase trial = fuzz;
+        trial.test.elements()[e] = MarchElement(element.order(), std::move(ops));
+        if (!divergence(trial).empty()) {
+          fuzz = std::move(trial);
+          changed = true;
+          break;
+        }
+      }
+    }
+    if (changed) continue;
+    for (std::size_t f = 0; f < fuzz.instance.fps.size(); ++f) {
+      if (fuzz.instance.fps.size() == 1) break;
+      FuzzCase trial = fuzz;
+      trial.instance.fps.erase(trial.instance.fps.begin() + f);
+      if (!divergence(trial).empty()) {
+        fuzz = std::move(trial);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return fuzz;
+}
+
+std::string describe(const FuzzCase& fuzz, std::uint64_t seed) {
+  std::ostringstream out;
+  out << "seed " << seed << " (replay: MTG_FUZZ_SEED=" << seed << ")\n"
+      << "  n = " << fuzz.memory_size
+      << ", both_power_on_states = " << fuzz.both_power_on_states << "\n"
+      << "  test:  " << fuzz.test.to_string(/*ascii=*/true) << "\n"
+      << "  fault: " << fuzz.instance.description;
+  return out.str();
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+TEST(DifferentialFuzz, PackedMatchesScalarVerdictsAndDiagnostics) {
+  const std::vector<FaultPrimitive> fps = all_fps();
+  std::vector<LinkedFault> linked = enumerate_single_cell_linked_faults();
+  {
+    std::vector<LinkedFault> retention = enumerate_retention_linked_faults();
+    linked.insert(linked.end(), retention.begin(), retention.end());
+    std::vector<LinkedFault> two = enumerate_two_cell_linked_faults();
+    linked.insert(linked.end(), two.begin(), two.end());
+  }
+
+  // Seeds are sequential from a fixed base so every run covers the same
+  // cases; MTG_FUZZ_SEED replays one, MTG_FUZZ_CASES rescales the sweep.
+  const std::uint64_t base_seed = env_u64("MTG_FUZZ_SEED", 0);
+  const bool replay_single = std::getenv("MTG_FUZZ_SEED") != nullptr;
+  const std::uint64_t cases =
+      replay_single ? 1 : env_u64("MTG_FUZZ_CASES", 1500);
+
+  std::size_t failures = 0;
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    const std::uint64_t seed = replay_single ? base_seed : 0xD1FFu + i;
+    const FuzzCase fuzz = make_case(seed, fps, linked);
+    const std::string failure = divergence(fuzz);
+    if (failure.empty()) continue;
+    const FuzzCase minimal = shrink(fuzz);
+    ADD_FAILURE() << "packed/scalar divergence\n"
+                  << describe(minimal, seed) << "\n"
+                  << divergence(minimal);
+    if (++failures >= 3) break;  // enough repro material; stop the sweep
+  }
+}
+
+}  // namespace
+}  // namespace mtg
