@@ -1,0 +1,65 @@
+// Memory-size sweep throughput (sim/sweep.hpp): coverage of one march test
+// across n = 64 … 65536 in one call.  The packed engine's per-instance cost
+// is independent of n (cell collapsing), so sweep cost tracks the per-fault
+// layout cap, not the memory size — the counters make that visible.
+#include <benchmark/benchmark.h>
+
+#include "fp/fault_list.hpp"
+#include "march/catalog.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+using namespace mtg;
+
+const std::vector<std::size_t>& sweep_sizes() {
+  static const std::vector<std::size_t> sizes = {64, 256, 4096, 65536};
+  return sizes;
+}
+
+void BM_SweepMarchSlFaultListTwo(benchmark::State& state) {
+  const MarchTest test = march_sl();
+  const FaultList list = fault_list_2();
+  SweepOptions options;
+  options.max_instances_per_fault = static_cast<std::size_t>(state.range(0));
+  options.threads = static_cast<std::size_t>(state.range(1));
+  std::size_t instances = 0;
+  for (auto _ : state) {
+    const std::vector<SweepPoint> points =
+        sweep_coverage(test, list, sweep_sizes(), options);
+    instances = 0;
+    for (const SweepPoint& point : points) {
+      instances += point.report.instances_total();
+    }
+    benchmark::DoNotOptimize(points);
+  }
+  state.counters["instances"] = static_cast<double>(instances);
+  state.counters["instances/s"] = benchmark::Counter(
+      static_cast<double>(instances * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepMarchSlFaultListTwo)
+    ->ArgNames({"cap", "threads"})
+    ->Args({128, 1})
+    ->Args({128, 0})   // 0 = hardware concurrency
+    ->Args({1024, 1})
+    ->Args({1024, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SingleSizeLargeN(benchmark::State& state) {
+  // One n = 65536 point in isolation: the multi-word end of the sweep.
+  const MarchTest test = march_sl();
+  const FaultList list = fault_list_2();
+  SweepOptions options;
+  options.max_instances_per_fault = 256;
+  options.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sweep_coverage(test, list, {65536}, options));
+  }
+}
+BENCHMARK(BM_SingleSizeLargeN)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -8,10 +8,16 @@
 //       generate a march test for a built-in fault list
 //   mtg_cli coverage "<march notation>" <list1|list2|simple|retention> [n]
 //       fault-simulate a march test (e.g. "{c(w0); ^(r0,w1); v(r1,w0)}")
+//   mtg_cli coverage "<march notation>" <list> --sweep 64,256,4096,65536
+//       memory-size sweep: coverage at every listed n, evaluated in
+//       parallel; per-fault layouts are capped (deterministically sampled)
+//       above --cap instances (default 4096, 0 = full enumeration)
 //   mtg_cli dot <g0|pgcf>
 //       print the Figure 2 / Figure 4 graph as GraphViz DOT
+#include <algorithm>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "fp/fault_list.hpp"
 #include "gen/generator.hpp"
@@ -19,6 +25,7 @@
 #include "march/parser.hpp"
 #include "memory/pattern_graph.hpp"
 #include "sim/coverage.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -64,6 +71,63 @@ int cmd_generate(const std::string& list_name) {
   return result.full_coverage ? 0 : 1;
 }
 
+/// Parses a non-negative decimal count; rejects signs, spaces, suffixes and
+/// anything else std::stoul would silently accept or wrap ("-1" parses to
+/// 2^64-1 there).
+std::size_t parse_count(const std::string& text, const std::string& what) {
+  const bool all_digits =
+      !text.empty() && text.find_first_not_of("0123456789") == std::string::npos;
+  std::size_t value = 0;
+  if (all_digits) {
+    try {
+      value = std::stoul(text);
+    } catch (const std::exception&) {  // out of range
+      throw Error(what + ": number out of range '" + text + "'");
+    }
+  } else {
+    throw Error(what + ": bad number '" + text + "'");
+  }
+  return value;
+}
+
+/// Parses "64,256,4096" into sizes; rejects empty items and non-numbers.
+std::vector<std::size_t> parse_size_list(const std::string& text) {
+  std::vector<std::size_t> sizes;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    sizes.push_back(parse_count(item, "--sweep memory size"));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return sizes;
+}
+
+int cmd_sweep(const std::string& notation, const std::string& list_name,
+              const std::string& size_list, std::size_t cap) {
+  const MarchTest test = parse_march_test(notation, "cli test");
+  const FaultList list = list_by_name(list_name);
+  SweepOptions options;
+  options.max_instances_per_fault = cap;
+  const std::vector<SweepPoint> points =
+      sweep_coverage(test, list, parse_size_list(size_list), options);
+  std::cout << test.to_string() << " vs " << list.name << " (per-fault cap "
+            << cap << "):\n"
+            << sweep_summary(points);
+  for (const SweepPoint& point : points) {
+    if (point.report.full_coverage()) continue;
+    std::cout << "n=" << point.memory_size << ": "
+              << point.report.summary() << "\n";
+  }
+  const bool all_covered =
+      std::all_of(points.begin(), points.end(), [](const SweepPoint& p) {
+        return p.report.full_coverage();
+      });
+  return all_covered ? 0 : 1;
+}
+
 int cmd_coverage(const std::string& notation, const std::string& list_name,
                  std::size_t n) {
   const MarchTest test = parse_march_test(notation, "cli test");
@@ -93,6 +157,8 @@ int usage() {
             << "  mtg_cli generate <list1|list2|simple|retention>\n"
             << "  mtg_cli coverage \"<march notation>\" "
                "<list1|list2|simple|retention> [n]\n"
+            << "  mtg_cli coverage \"<march notation>\" <list> "
+               "--sweep <n1,n2,...> [--cap <instances-per-fault>]\n"
             << "  mtg_cli dot <g0|pgcf>\n";
   return 2;
 }
@@ -106,7 +172,18 @@ int main(int argc, char** argv) {
     if (command == "lists") return cmd_lists();
     if (command == "generate" && argc > 2) return cmd_generate(argv[2]);
     if (command == "coverage" && argc > 3) {
-      const std::size_t n = argc > 4 ? std::stoul(argv[4]) : 6;
+      if (argc > 4 && std::string(argv[4]) == "--sweep") {
+        if (argc < 6) return usage();  // size list missing
+        std::size_t cap = 4096;
+        if (argc == 8 && std::string(argv[6]) == "--cap") {
+          cap = parse_count(argv[7], "--cap");
+        } else if (argc != 6) {
+          return usage();
+        }
+        return cmd_sweep(argv[2], argv[3], argv[5], cap);
+      }
+      const std::size_t n =
+          argc > 4 ? parse_count(argv[4], "memory size") : 6;
       return cmd_coverage(argv[2], argv[3], n);
     }
     if (command == "dot" && argc > 2) return cmd_dot(argv[2]);

@@ -5,6 +5,7 @@
 // pattern values (which may be don't-care) with mtg::Tri.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -12,6 +13,27 @@
 #include "common/error.hpp"
 
 namespace mtg {
+
+/// Number of set bits in a 64-bit word — the one popcount shared by
+/// PackedBits and the packed engine's lane words.  The builtin-free
+/// implementation is exposed separately so the non-GNU branch can be
+/// unit-tested on every toolchain.
+inline std::size_t popcount64_portable(std::uint64_t word) noexcept {
+  std::size_t count = 0;
+  while (word != 0) {
+    word &= word - 1;
+    ++count;
+  }
+  return count;
+}
+
+inline std::size_t popcount64(std::uint64_t word) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<std::size_t>(__builtin_popcountll(word));
+#else
+  return popcount64_portable(word);
+#endif
+}
 
 /// A concrete memory cell value.
 enum class Bit : std::uint8_t { Zero = 0, One = 1 };

@@ -1,0 +1,80 @@
+#include "common/packed_bits.hpp"
+
+#include <ostream>
+
+#include "common/bit.hpp"
+#include "common/error.hpp"
+
+namespace mtg {
+
+PackedBits::PackedBits(std::size_t num_bits)
+    : words_((num_bits + 63) / 64, 0), num_bits_(num_bits) {}
+
+std::uint64_t PackedBits::last_word_mask() const noexcept {
+  const std::size_t tail = num_bits_ % 64;
+  return tail == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1;
+}
+
+bool PackedBits::get(std::size_t bit) const {
+  require(bit < num_bits_, "PackedBits::get: bit index out of range");
+  return ((words_[bit / 64] >> (bit % 64)) & 1u) != 0;
+}
+
+void PackedBits::set(std::size_t bit, bool value) {
+  require(bit < num_bits_, "PackedBits::set: bit index out of range");
+  const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
+  if (value) {
+    words_[bit / 64] |= mask;
+  } else {
+    words_[bit / 64] &= ~mask;
+  }
+}
+
+void PackedBits::fill(bool value) {
+  if (words_.empty()) return;
+  const std::uint64_t pattern = value ? ~std::uint64_t{0} : 0;
+  for (std::uint64_t& word : words_) word = pattern;
+  words_.back() &= last_word_mask();
+}
+
+std::uint64_t PackedBits::word(std::size_t index) const {
+  require(index < words_.size(), "PackedBits::word: word index out of range");
+  return words_[index];
+}
+
+void PackedBits::set_word(std::size_t index, std::uint64_t bits) {
+  require(index < words_.size(),
+          "PackedBits::set_word: word index out of range");
+  if (index == words_.size() - 1) {
+    require((bits & ~last_word_mask()) == 0,
+            "PackedBits::set_word: bits beyond size() must be zero");
+  }
+  words_[index] = bits;
+}
+
+std::size_t PackedBits::popcount() const noexcept {
+  std::size_t count = 0;
+  for (const std::uint64_t word : words_) count += popcount64(word);
+  return count;
+}
+
+bool PackedBits::none() const noexcept {
+  for (const std::uint64_t word : words_) {
+    if (word != 0) return false;
+  }
+  return true;
+}
+
+std::string PackedBits::to_string() const {
+  std::string out(num_bits_, '0');
+  for (std::size_t i = 0; i < num_bits_; ++i) {
+    if (get(i)) out[i] = '1';
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const PackedBits& bits) {
+  return os << bits.to_string();
+}
+
+}  // namespace mtg

@@ -1,0 +1,76 @@
+// A multi-word bitset for memory snapshots of arbitrary size.
+//
+// MemoryState::packed_bits()/set_packed_bits used to pack the cell contents
+// into a single uint64_t, which capped every snapshot consumer (FaultyMemory
+// save/restore, and with it the scalar simulator oracle) at n <= 64 cells.
+// PackedBits lifts that ceiling: it is a fixed-size sequence of 64-bit words
+// holding one bit per cell, with the same bit numbering (bit i = cell i,
+// bit i lives in word i/64 at position i%64).  Unused high bits of the last
+// word are always zero, so whole-word comparison is value comparison.
+//
+// This is deliberately not std::vector<bool> (no word access, no guaranteed
+// layout) and not std::bitset (size fixed at compile time): snapshot sizes
+// are runtime values (the simulated memory size n), and consumers want word
+// granularity for cheap save/restore and comparison.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mtg {
+
+class PackedBits {
+ public:
+  PackedBits() = default;
+
+  /// An all-zero bitset of `num_bits` bits (num_bits == 0 is valid: the
+  /// empty snapshot).
+  explicit PackedBits(std::size_t num_bits);
+
+  std::size_t size() const noexcept { return num_bits_; }
+  std::size_t num_words() const noexcept { return words_.size(); }
+
+  bool get(std::size_t bit) const;
+  void set(std::size_t bit, bool value);
+
+  /// Sets every bit to `value`.
+  void fill(bool value);
+
+  /// Word `index` (bits [64*index, 64*index + 64) of the set); high bits
+  /// beyond size() are zero.
+  std::uint64_t word(std::size_t index) const;
+
+  /// Overwrites word `index`; bits beyond size() must be zero (enforced).
+  void set_word(std::size_t index, std::uint64_t bits);
+
+  /// Number of set bits.
+  std::size_t popcount() const noexcept;
+
+  /// True when no bit is set.
+  bool none() const noexcept;
+
+  /// Bit 0 first, e.g. "0110..." — matches MemoryState::to_string.
+  std::string to_string() const;
+
+  friend bool operator==(const PackedBits& a, const PackedBits& b) noexcept {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const PackedBits& a, const PackedBits& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  /// Mask of the valid bits of the last word (all-ones when size() is a
+  /// multiple of 64 or the set is empty).
+  std::uint64_t last_word_mask() const noexcept;
+
+  std::vector<std::uint64_t> words_;
+  std::size_t num_bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const PackedBits& bits);
+
+}  // namespace mtg

@@ -78,19 +78,19 @@ void MemoryState::fill(Bit value) {
   for (auto& c : cells_) c = static_cast<std::uint8_t>(to_int(value));
 }
 
-std::uint64_t MemoryState::packed_bits() const {
-  require(cells_.size() <= 64, "packed_bits: memory too large");
-  std::uint64_t bits = 0;
+PackedBits MemoryState::packed_bits() const {
+  PackedBits bits(cells_.size());
   for (std::size_t i = 0; i < cells_.size(); ++i) {
-    if (cells_[i] != 0) bits |= std::uint64_t{1} << i;
+    if (cells_[i] != 0) bits.set(i, true);
   }
   return bits;
 }
 
-void MemoryState::set_packed_bits(std::uint64_t bits) {
-  require(cells_.size() <= 64, "set_packed_bits: memory too large");
+void MemoryState::set_packed_bits(const PackedBits& bits) {
+  require(bits.size() == cells_.size(),
+          "set_packed_bits: snapshot size mismatch");
   for (std::size_t i = 0; i < cells_.size(); ++i) {
-    cells_[i] = static_cast<std::uint8_t>((bits >> i) & 1u);
+    cells_[i] = bits.get(i) ? 1 : 0;
   }
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bit.hpp"
+#include "common/packed_bits.hpp"
 
 namespace mtg {
 
@@ -85,9 +86,10 @@ class MemoryState {
   void flip(std::size_t address);
   void fill(Bit value);
 
-  /// Cell contents packed into bits 0..n-1; memories of at most 64 cells.
-  std::uint64_t packed_bits() const;
-  void set_packed_bits(std::uint64_t bits);
+  /// Cell contents packed into bits 0..n-1 (bit i = cell i), for any n.
+  PackedBits packed_bits() const;
+  /// Restores a snapshot taken on a memory of the same size.
+  void set_packed_bits(const PackedBits& bits);
 
   std::string to_string() const;
 

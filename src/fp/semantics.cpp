@@ -73,11 +73,9 @@ std::size_t FaultyMemory::fire_count(std::size_t fault_index) const {
   return fire_counts_[fault_index];
 }
 
-std::uint64_t FaultyMemory::packed_state() const {
-  return state_.packed_bits();
-}
+PackedBits FaultyMemory::packed_state() const { return state_.packed_bits(); }
 
-void FaultyMemory::set_packed_state(std::uint64_t bits) {
+void FaultyMemory::set_packed_state(const PackedBits& bits) {
   state_.set_packed_bits(bits);
 }
 

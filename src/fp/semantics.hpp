@@ -91,12 +91,12 @@ class FaultyMemory {
   std::size_t fire_count(std::size_t fault_index) const;
 
   // -- Compact snapshots (hot path of the generation engine) -----------
-  // Valid for memories of at most 64 cells and 32 bound faults; fire
+  // Valid for memories of any size and at most 32 bound faults; fire
   // counters are not part of the snapshot.
 
-  /// Cell contents packed into bits 0..n-1.
-  std::uint64_t packed_state() const;
-  void set_packed_state(std::uint64_t bits);
+  /// Cell contents packed into bits 0..n-1 (multi-word; any n).
+  PackedBits packed_state() const;
+  void set_packed_state(const PackedBits& bits);
   /// State-fault armed flags packed into bits 0..#faults-1.
   std::uint32_t packed_armed() const;
   void set_packed_armed(std::uint32_t bits);

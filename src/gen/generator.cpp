@@ -332,8 +332,8 @@ GenerationResult generate_march_test(const FaultList& list,
   MarchTest test("generated", {MarchElement(AddressOrder::Any, {Op::W0})});
 
   // -- Phase A: greedy cover on the working memory ----------------------
-  std::vector<FaultInstance> working =
-      instantiate_all(list, options.working_memory_size);
+  std::vector<FaultInstance> working = instantiate_all(
+      list, options.working_memory_size, options.max_instances_per_fault);
   stats.working_instances = working.size();
   std::set<std::size_t> uncoverable;
   {
@@ -350,8 +350,8 @@ GenerationResult generate_march_test(const FaultList& list,
   // -- Phase B: certification loop (CEGIS) ------------------------------
   const FaultSimulator cert_sim(SimulatorOptions{
       options.certify_memory_size, options.both_power_on_states, 10});
-  const std::vector<FaultInstance> cert_instances =
-      instantiate_all(list, options.certify_memory_size);
+  const std::vector<FaultInstance> cert_instances = instantiate_all(
+      list, options.certify_memory_size, options.max_instances_per_fault);
   stats.certify_instances = cert_instances.size();
 
   auto certify_and_extend = [&]() {
@@ -389,7 +389,8 @@ GenerationResult generate_march_test(const FaultList& list,
         options.minimize_memory_size, options.both_power_on_states, 10});
     std::vector<FaultInstance> min_instances;
     for (FaultInstance& instance :
-         instantiate_all(list, options.minimize_memory_size)) {
+         instantiate_all(list, options.minimize_memory_size,
+                         options.max_instances_per_fault)) {
       if (uncoverable.count(instance.fault_index) == 0) {
         min_instances.push_back(std::move(instance));
       }
@@ -408,7 +409,8 @@ GenerationResult generate_march_test(const FaultList& list,
   }
 
   // -- Final report ------------------------------------------------------
-  result.certification = evaluate_coverage(cert_sim, test, list);
+  result.certification = evaluate_coverage(cert_sim, test, list,
+                                           options.max_instances_per_fault);
   result.full_coverage = true;
   for (const CoverageEntry& entry : result.certification.entries) {
     if (uncoverable.count(entry.fault_index) > 0) continue;

@@ -61,6 +61,12 @@ struct GeneratorOptions {
   /// hardware concurrency, 1 runs the scan on the calling thread.  The
   /// generated test is identical for every thread count.
   std::size_t gain_threads = 0;
+  /// Per-fault layout bound for every instantiation (working, certification,
+  /// minimization and the final report); 0 = full enumeration.  Lets the
+  /// certify size scale past the O(n²) two-cell layout blow-up — the memory
+  /// sizes above pass through unclamped, so certify_memory_size may exceed
+  /// 64 freely (the simulators have no n ceiling).
+  std::size_t max_instances_per_fault = 0;
 };
 
 struct GenerationStats {

@@ -73,7 +73,8 @@ std::ostream& operator<<(std::ostream& os, const CoverageReport& report) {
 }
 
 CoverageReport evaluate_coverage(const FaultSimulator& simulator,
-                                 const MarchTest& test, const FaultList& list) {
+                                 const MarchTest& test, const FaultList& list,
+                                 std::size_t max_instances_per_fault) {
   FaultSimulator::validate(test);
   CoverageReport report;
   report.test_name = test.name().empty() ? test.to_string() : test.name();
@@ -88,8 +89,8 @@ CoverageReport evaluate_coverage(const FaultSimulator& simulator,
     report.entries[i].covered = true;
   }
 
-  const std::vector<FaultInstance> instances =
-      instantiate_all(list, simulator.options().memory_size);
+  const std::vector<FaultInstance> instances = instantiate_all(
+      list, simulator.options().memory_size, max_instances_per_fault);
   std::vector<std::uint8_t> detected(instances.size(), 0);
 
   if (simulator.options().use_packed_engine) {

@@ -48,7 +48,11 @@ struct CoverageReport {
 std::ostream& operator<<(std::ostream& os, const CoverageReport& report);
 
 /// Simulates every instance of every fault of `list` against `test`.
+/// `max_instances_per_fault` bounds the instantiation for large memories
+/// (0 = full enumeration; see instantiate_all): per-fault verdicts then
+/// refer to the deterministic layout sample, not the full layout space.
 CoverageReport evaluate_coverage(const FaultSimulator& simulator,
-                                 const MarchTest& test, const FaultList& list);
+                                 const MarchTest& test, const FaultList& list,
+                                 std::size_t max_instances_per_fault = 0);
 
 }  // namespace mtg

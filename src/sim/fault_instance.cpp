@@ -1,5 +1,10 @@
 #include "sim/fault_instance.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <set>
+
 #include "common/error.hpp"
 
 namespace mtg {
@@ -29,14 +34,108 @@ std::vector<std::vector<std::size_t>> ascending_subsets(std::size_t n,
   }
 }
 
+/// C(n, k), saturating at uint64 max (only compared against small caps).
+std::uint64_t subset_count_saturated(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  std::uint64_t result = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t factor = n - i;
+    if (result > std::numeric_limits<std::uint64_t>::max() / factor) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    // Exact at every step: the running product of i+1 consecutive integers
+    // is divisible by (i+1)!.
+    result = result * factor / (i + 1);
+  }
+  return result;
+}
+
+/// splitmix64 — the same stdlib-independent PRNG as the fuzz harness, so
+/// sampled layouts are identical on every platform.
+struct SplitMix {
+  std::uint64_t state;
+
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::size_t below(std::size_t bound) {
+    return static_cast<std::size_t>(next() % bound);
+  }
+};
+
+/// The layouts instantiate() binds: all ascending k-subsets when they fit
+/// `cap` (or cap == 0), a deterministic sample otherwise (see the header
+/// comment on instantiate()).
+std::vector<std::vector<std::size_t>> bounded_subsets(std::size_t n,
+                                                      std::size_t k,
+                                                      std::size_t cap,
+                                                      std::uint64_t seed) {
+  const std::uint64_t count = subset_count_saturated(n, k);
+  if (cap == 0 || count <= cap) return ascending_subsets(n, k);
+
+  // Moderate overshoot: enumerate fully, keep `cap` evenly spaced layouts
+  // (the first and last among them).
+  if (count <= 4 * static_cast<std::uint64_t>(cap)) {
+    const auto all = ascending_subsets(n, k);
+    std::vector<std::vector<std::size_t>> picked;
+    picked.reserve(cap);
+    for (std::size_t j = 0; j < cap; ++j) {
+      picked.push_back(all[cap == 1 ? 0 : j * (all.size() - 1) / (cap - 1)]);
+    }
+    return picked;
+  }
+
+  // Large memories: boundary layouts plus seeded random distinct layouts.
+  // A std::set keeps the result lexicographically sorted (the enumeration
+  // order of ascending_subsets) and deduplicated.
+  std::set<std::vector<std::size_t>> chosen;
+  std::vector<std::size_t> lowest(k), highest(k);
+  std::iota(lowest.begin(), lowest.end(), 0);
+  std::iota(highest.begin(), highest.end(), n - k);
+  chosen.insert(lowest);
+  chosen.insert(highest);
+  SplitMix rng{seed};
+  // count > 4·cap, so fresh layouts stay likely; the attempt bound is a
+  // safety net, not the expected exit.
+  for (std::size_t attempts = 0; chosen.size() < cap && attempts < 64 * cap;
+       ++attempts) {
+    std::vector<std::size_t> pick;
+    pick.reserve(k);
+    while (pick.size() < k) {
+      const std::size_t v = rng.below(n);
+      if (std::find(pick.begin(), pick.end(), v) == pick.end()) {
+        pick.push_back(v);
+      }
+    }
+    std::sort(pick.begin(), pick.end());
+    chosen.insert(std::move(pick));
+  }
+  std::vector<std::vector<std::size_t>> result(chosen.begin(), chosen.end());
+  if (result.size() > cap) result.resize(cap);  // cap == 1 keeps the lowest
+  return result;
+}
+
+std::uint64_t layout_seed(std::size_t fault_index, std::size_t n,
+                          std::size_t k) {
+  return (static_cast<std::uint64_t>(fault_index) + 1) *
+             0x9E3779B97F4A7C15ull ^
+         (static_cast<std::uint64_t>(n) << 8) ^ static_cast<std::uint64_t>(k);
+}
+
 }  // namespace
 
 std::vector<FaultInstance> instantiate(const SimpleFault& fault, std::size_t n,
-                                       std::size_t fault_index) {
+                                       std::size_t fault_index,
+                                       std::size_t max_instances) {
   std::vector<FaultInstance> result;
   const std::size_t k = fault.num_cells();
   require(n >= k, "memory too small for the fault layout");
-  for (const auto& cells : ascending_subsets(n, k)) {
+  for (const auto& cells : bounded_subsets(
+           n, k, max_instances, layout_seed(fault_index, n, k))) {
     const std::size_t v = cells[fault.v_pos];
     const std::size_t a = fault.a_pos >= 0 ? cells[fault.a_pos] : v;
     FaultInstance inst;
@@ -49,12 +148,14 @@ std::vector<FaultInstance> instantiate(const SimpleFault& fault, std::size_t n,
 }
 
 std::vector<FaultInstance> instantiate(const LinkedFault& fault, std::size_t n,
-                                       std::size_t fault_index) {
+                                       std::size_t fault_index,
+                                       std::size_t max_instances) {
   std::vector<FaultInstance> result;
   const std::size_t k = fault.num_cells();
   require(n >= k, "memory too small for the fault layout");
   const LinkedLayout& layout = fault.layout();
-  for (const auto& cells : ascending_subsets(n, k)) {
+  for (const auto& cells : bounded_subsets(
+           n, k, max_instances, layout_seed(fault_index, n, k))) {
     const std::size_t v = cells[layout.v_pos];
     const std::size_t a1 = layout.a1_pos >= 0 ? cells[layout.a1_pos] : v;
     const std::size_t a2 = layout.a2_pos >= 0 ? cells[layout.a2_pos] : v;
@@ -70,15 +171,16 @@ std::vector<FaultInstance> instantiate(const LinkedFault& fault, std::size_t n,
 }
 
 std::vector<FaultInstance> instantiate_all(const FaultList& list,
-                                           std::size_t n) {
+                                           std::size_t n,
+                                           std::size_t max_instances_per_fault) {
   std::vector<FaultInstance> result;
   std::size_t index = 0;
   for (const SimpleFault& f : list.simple) {
-    auto instances = instantiate(f, n, index++);
+    auto instances = instantiate(f, n, index++, max_instances_per_fault);
     result.insert(result.end(), instances.begin(), instances.end());
   }
   for (const LinkedFault& f : list.linked) {
-    auto instances = instantiate(f, n, index++);
+    auto instances = instantiate(f, n, index++, max_instances_per_fault);
     result.insert(result.end(), instances.begin(), instances.end());
   }
   return result;

@@ -26,18 +26,30 @@ struct FaultInstance {
   std::string description;
 };
 
-/// Instances of a simple fault on an `n`-cell memory.
+/// Instances of a simple fault on an `n`-cell memory.  `max_instances`
+/// bounds the enumeration for large memories (0 = unlimited): when the full
+/// ascending-subset enumeration exceeds the bound, a deterministic
+/// boundary-biased sample of at most `max_instances` layouts is used instead
+/// — always including the lowest ({0..k-1}) and highest ({n-k..n-1})
+/// layouts, with the rest evenly spaced or drawn from a seeded PRNG (the
+/// seed depends only on fault_index, n and k, so sampling is identical
+/// across runs and thread counts).
 std::vector<FaultInstance> instantiate(const SimpleFault& fault, std::size_t n,
-                                       std::size_t fault_index);
+                                       std::size_t fault_index,
+                                       std::size_t max_instances = 0);
 
-/// Instances of a linked fault on an `n`-cell memory.
+/// Instances of a linked fault on an `n`-cell memory (same `max_instances`
+/// contract as the simple-fault overload).
 std::vector<FaultInstance> instantiate(const LinkedFault& fault, std::size_t n,
-                                       std::size_t fault_index);
+                                       std::size_t fault_index,
+                                       std::size_t max_instances = 0);
 
 /// Instances of every fault in the list; fault_index follows the list order
-/// (all simple faults, then all linked faults).
-std::vector<FaultInstance> instantiate_all(const FaultList& list,
-                                           std::size_t n);
+/// (all simple faults, then all linked faults).  `max_instances_per_fault`
+/// applies the per-fault bound described at instantiate().
+std::vector<FaultInstance> instantiate_all(
+    const FaultList& list, std::size_t n,
+    std::size_t max_instances_per_fault = 0);
 
 /// Number of faults in the list (simple + linked) == 1 + max fault_index.
 std::size_t fault_count(const FaultList& list);

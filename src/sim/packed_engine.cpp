@@ -86,26 +86,26 @@ std::uint64_t element_down_word(const MarchElement& element, int any_ordinal,
   }
 }
 
+std::size_t lane_popcount_portable(std::uint64_t word) noexcept {
+  return popcount64_portable(word);
+}
+
+std::size_t lowest_lane_portable(std::uint64_t word) noexcept {
+  std::size_t lane = 0;
+  while (lane < 64 && ((word >> lane) & 1u) == 0) ++lane;
+  return lane;
+}
+
 std::size_t lane_popcount(std::uint64_t word) noexcept {
-#if defined(__GNUC__) || defined(__clang__)
-  return static_cast<std::size_t>(__builtin_popcountll(word));
-#else
-  std::size_t count = 0;
-  while (word != 0) {
-    word &= word - 1;
-    ++count;
-  }
-  return count;
-#endif
+  return popcount64(word);
 }
 
 std::size_t lowest_lane(std::uint64_t word) noexcept {
+  if (word == 0) return 64;  // __builtin_ctzll(0) is undefined behaviour
 #if defined(__GNUC__) || defined(__clang__)
   return static_cast<std::size_t>(__builtin_ctzll(word));
 #else
-  std::size_t lane = 0;
-  while (((word >> lane) & 1u) == 0) ++lane;
-  return lane;
+  return lowest_lane_portable(word);
 #endif
 }
 

@@ -137,8 +137,16 @@ std::uint64_t element_down_word(const MarchElement& element, int any_ordinal,
 /// Number of set bits (detected lanes etc.).
 std::size_t lane_popcount(std::uint64_t word) noexcept;
 
-/// Index of the lowest set bit; word must be non-zero.
+/// Index of the lowest set bit, or 64 ("no lane") for a zero word.  The
+/// zero case is explicitly defined — it used to be undefined behaviour
+/// (__builtin_ctzll(0)) and a portable-fallback infinite loop.
 std::size_t lowest_lane(std::uint64_t word) noexcept;
+
+/// Builtin-free implementations behind lane_popcount/lowest_lane: the
+/// compiled-in path on non-GNU toolchains, and unit-tested directly on every
+/// toolchain so the fallback branch is never dead code in CI.
+std::size_t lane_popcount_portable(std::uint64_t word) noexcept;
+std::size_t lowest_lane_portable(std::uint64_t word) noexcept;
 
 // -- The packed machine ------------------------------------------------------
 

@@ -1,0 +1,69 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace mtg {
+
+std::vector<SweepPoint> sweep_coverage(const MarchTest& test,
+                                       const FaultList& list,
+                                       const std::vector<std::size_t>& sizes,
+                                       const SweepOptions& options) {
+  FaultSimulator::validate(test);
+  for (const std::size_t n : sizes) {
+    require(n >= 3, "sweep_coverage: every memory size must be >= 3, got " +
+                        std::to_string(n));
+  }
+
+  std::vector<SweepPoint> points(sizes.size());
+  const auto evaluate = [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      SimulatorOptions sim_options;
+      sim_options.memory_size = sizes[i];
+      sim_options.both_power_on_states = options.both_power_on_states;
+      sim_options.max_any_order_elements = options.max_any_order_elements;
+      sim_options.use_packed_engine = options.use_packed_engine;
+      // Each point evaluates sequentially on its worker: the parallelism
+      // lives across sweep points, not inside them.
+      sim_options.coverage_threads = 1;
+      points[i].memory_size = sizes[i];
+      points[i].report = evaluate_coverage(FaultSimulator(sim_options), test,
+                                           list,
+                                           options.max_instances_per_fault);
+    }
+  };
+
+  // The caller participates (coverage.cpp's pattern), so the pool only needs
+  // workers for the other sweep points; single-point sweeps and threads == 1
+  // skip pool construction entirely.
+  const std::size_t threads = ThreadPool::resolve_thread_count(options.threads);
+  const std::size_t workers =
+      std::min(threads - 1, sizes.size() > 0 ? sizes.size() - 1 : 0);
+  if (workers == 0) {
+    evaluate(0, 0, sizes.size());
+  } else {
+    ThreadPool pool(workers);
+    pool.parallel_for(sizes.size(), /*chunk=*/1, evaluate);
+  }
+  return points;
+}
+
+std::string sweep_summary(const std::vector<SweepPoint>& points) {
+  std::ostringstream out;
+  out << "      n   faults covered   instances detected   coverage\n";
+  for (const SweepPoint& point : points) {
+    const CoverageReport& r = point.report;
+    out << std::setw(7) << point.memory_size << "   " << std::setw(6)
+        << r.faults_covered() << "/" << r.faults_total() << "        "
+        << std::setw(8) << r.instances_detected() << "/" << r.instances_total()
+        << "        " << std::fixed << std::setprecision(2)
+        << r.fault_coverage_percent() << "%\n";
+  }
+  return out.str();
+}
+
+}  // namespace mtg

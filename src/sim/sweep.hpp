@@ -1,0 +1,58 @@
+// Memory-size sweep workload: one march test × one fault list evaluated
+// across many simulated memory sizes (n ≫ 64 included).
+//
+// The packed engine's cost per fault instance is independent of n (cell
+// collapsing keeps only the ≤ 3 involved cells), so the sweep's cost is
+// governed by the number of instantiated layouts, not by the memory size —
+// `max_instances_per_fault` bounds that deterministically (instantiate_all).
+// Sweep points are independent, so they are spread over the bounded thread
+// pool (common/parallel.hpp); each point evaluates sequentially on its
+// worker, and results land in size-list order, so the sweep output is
+// byte-identical for every thread count.
+//
+// This is the groundwork the ROADMAP names for address-decoder-style fault
+// layouts: coverage of the fault models shipped today depends only on the
+// relative order of the involved cells (march elements treat cells
+// uniformly), so a sweep over n is flat for them — address-decoder faults,
+// whose sensitization depends on address bits, are what will make the curve
+// move.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/coverage.hpp"
+
+namespace mtg {
+
+struct SweepOptions {
+  /// SimulatorOptions fields shared by every sweep point.
+  bool both_power_on_states = true;
+  std::size_t max_any_order_elements = 10;
+  bool use_packed_engine = true;
+  /// Per-fault layout bound per sweep point (0 = full enumeration — beware:
+  /// two-cell faults enumerate O(n²) layouts).
+  std::size_t max_instances_per_fault = 4096;
+  /// Worker threads across sweep points; 0 picks the hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// Coverage of one sweep point.
+struct SweepPoint {
+  std::size_t memory_size = 0;
+  CoverageReport report;
+};
+
+/// Evaluates `test` against `list` at every memory size of `sizes`
+/// (each ≥ 3, the simulator's minimum; duplicates allowed, order kept).
+/// Deterministic: the result is identical for every `threads` value.
+std::vector<SweepPoint> sweep_coverage(const MarchTest& test,
+                                       const FaultList& list,
+                                       const std::vector<std::size_t>& sizes,
+                                       const SweepOptions& options = {});
+
+/// Compact per-size table (one line per sweep point).
+std::string sweep_summary(const std::vector<SweepPoint>& points);
+
+}  // namespace mtg

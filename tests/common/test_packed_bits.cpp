@@ -1,0 +1,116 @@
+#include "common/packed_bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/state.hpp"
+
+namespace mtg {
+namespace {
+
+TEST(PackedBits, StartsAllZero) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{64}, std::size_t{65},
+                              std::size_t{130}}) {
+    const PackedBits bits(n);
+    EXPECT_EQ(bits.size(), n);
+    EXPECT_EQ(bits.num_words(), (n + 63) / 64);
+    EXPECT_TRUE(bits.none());
+    EXPECT_EQ(bits.popcount(), 0u);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_FALSE(bits.get(i));
+  }
+}
+
+TEST(PackedBits, EmptySetIsValid) {
+  const PackedBits bits(0);
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.num_words(), 0u);
+  EXPECT_TRUE(bits.none());
+  EXPECT_EQ(bits.to_string(), "");
+}
+
+TEST(PackedBits, SetGetAcrossWordBoundaries) {
+  PackedBits bits(130);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{63}, std::size_t{64},
+                              std::size_t{127}, std::size_t{128},
+                              std::size_t{129}}) {
+    bits.set(i, true);
+    EXPECT_TRUE(bits.get(i)) << "bit " << i;
+  }
+  EXPECT_EQ(bits.popcount(), 6u);
+  EXPECT_FALSE(bits.get(1));
+  EXPECT_FALSE(bits.get(65));
+  bits.set(64, false);
+  EXPECT_FALSE(bits.get(64));
+  EXPECT_EQ(bits.popcount(), 5u);
+}
+
+TEST(PackedBits, FillMasksTheLastWord) {
+  PackedBits bits(70);
+  bits.fill(true);
+  EXPECT_EQ(bits.popcount(), 70u);
+  EXPECT_EQ(bits.word(0), ~std::uint64_t{0});
+  EXPECT_EQ(bits.word(1), (std::uint64_t{1} << 6) - 1);
+  bits.fill(false);
+  EXPECT_TRUE(bits.none());
+}
+
+TEST(PackedBits, WordAccessRoundTrips) {
+  PackedBits bits(100);
+  bits.set_word(0, 0xDEADBEEFCAFEF00Dull);
+  bits.set_word(1, (std::uint64_t{1} << 36) - 1);  // bits 64..99 set
+  EXPECT_EQ(bits.word(0), 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(bits.word(1), (std::uint64_t{1} << 36) - 1);
+  EXPECT_TRUE(bits.get(99));
+  // Bits beyond size() must stay zero.
+  EXPECT_THROW(bits.set_word(1, std::uint64_t{1} << 36), Error);
+  EXPECT_THROW(bits.word(2), Error);
+}
+
+TEST(PackedBits, EqualityIncludesSize) {
+  PackedBits a(65), b(65);
+  EXPECT_EQ(a, b);
+  b.set(64, true);
+  EXPECT_NE(a, b);
+  b.set(64, false);
+  EXPECT_EQ(a, b);
+  const PackedBits shorter(64);
+  EXPECT_NE(a, shorter);  // same word count, different bit count
+}
+
+TEST(PackedBits, ToStringMatchesMemoryState) {
+  MemoryState state(67);
+  state.set(0, Bit::One);
+  state.set(64, Bit::One);
+  state.set(66, Bit::One);
+  const PackedBits bits = state.packed_bits();
+  EXPECT_EQ(bits.to_string(), state.to_string());
+}
+
+TEST(PackedBits, OutOfRangeAccessesThrow) {
+  PackedBits bits(64);
+  EXPECT_THROW(bits.get(64), Error);
+  EXPECT_THROW(bits.set(64, true), Error);
+  EXPECT_THROW(bits.set_word(1, 0), Error);
+}
+
+TEST(MemoryState, PackedBitsRoundTripsBeyondOneWord) {
+  // The old packed_bits() threw for n > 64; the multi-word snapshot must
+  // round-trip any n exactly.
+  for (const std::size_t n : {std::size_t{3}, std::size_t{64}, std::size_t{65},
+                              std::size_t{200}}) {
+    MemoryState state(n);
+    for (std::size_t i = 0; i < n; i += 3) state.set(i, Bit::One);
+    const PackedBits snapshot = state.packed_bits();
+    MemoryState restored(n, Bit::One);
+    restored.set_packed_bits(snapshot);
+    EXPECT_EQ(restored, state) << "n=" << n;
+  }
+}
+
+TEST(MemoryState, SetPackedBitsRejectsSizeMismatch) {
+  MemoryState state(65);
+  EXPECT_THROW(state.set_packed_bits(PackedBits(64)), Error);
+}
+
+}  // namespace
+}  // namespace mtg

@@ -68,6 +68,62 @@ TEST(Minimizer, PreservesCoverageProperty) {
   }
 }
 
+TEST(Minimizer, SingleElementTestsAreReturnedUnchanged) {
+  // Both inner loops must handle the degenerate shapes: one element is never
+  // dropped (the test would vanish), and a one-op element is left to the
+  // element-removal pass.
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  for (const char* notation : {"{c(w0)}", "{c(w0,r0)}"}) {
+    const MarchTest test = parse_march_test(notation, "tiny");
+    std::vector<std::string> log;
+    const MarchTest minimized = minimize_test(simulator, test, {}, &log);
+    // With no instances to keep covered, only op-dropping inside the
+    // two-op element can fire; the single-op test is a strict fixpoint.
+    EXPECT_TRUE(covers_all(simulator, minimized, {}));
+    EXPECT_GE(minimized.elements().size(), 1u);
+    EXPECT_EQ(minimize_test(simulator, minimized, {}, nullptr), minimized);
+  }
+}
+
+TEST(Minimizer, NoOpMinimizationLeavesTheLogEmpty) {
+  // An already-minimal test must come back identical with an untouched log
+  // (callers use the log to report what changed — no change, no lines).
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  FaultList list;
+  list.name = "tf only";
+  list.simple.push_back(SimpleFault::single(FaultPrimitive::tf(Bit::Zero)));
+  list.simple.push_back(SimpleFault::single(FaultPrimitive::tf(Bit::One)));
+  const auto instances = instances_for(list, 4);
+  const MarchTest minimal =
+      minimize_test(simulator, parse_march_test("{c(w0); ^(w1,r1,w0,r0)}",
+                                                "tight"),
+                    instances);
+  std::vector<std::string> log;
+  const MarchTest again = minimize_test(simulator, minimal, instances, &log);
+  EXPECT_EQ(again, minimal);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(Minimizer, PreservesValidityAndWaitsForRetentionTargets) {
+  // Minimizing against retention (t-op) instances must neither break test
+  // validity nor strip the waits that make the coverage possible.
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  FaultList list;
+  list.name = "simple DRFs";
+  list.simple.push_back(SimpleFault::single(FaultPrimitive::drf(Bit::Zero)));
+  list.simple.push_back(SimpleFault::single(FaultPrimitive::drf(Bit::One)));
+  const auto instances = instances_for(list, 4);
+  ASSERT_TRUE(covers_all(simulator, march_g(), instances));
+
+  std::vector<std::string> log;
+  const MarchTest minimized =
+      minimize_test(simulator, march_g(), instances, &log);
+  EXPECT_TRUE(FaultSimulator::validity_violation(minimized).empty());
+  EXPECT_TRUE(minimized.contains_wait());
+  EXPECT_TRUE(covers_all(simulator, minimized, instances));
+  EXPECT_LE(minimized.complexity(), march_g().complexity());
+}
+
 TEST(Minimizer, DropsOpsInsideElements) {
   const FaultSimulator simulator(SimulatorOptions{4, true, 10});
   // Cover only the transition faults; the double reads are redundant.

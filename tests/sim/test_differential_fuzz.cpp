@@ -114,7 +114,18 @@ FuzzCase make_case(std::uint64_t seed, const std::vector<FaultPrimitive>& fps,
                    const std::vector<LinkedFault>& linked) {
   Rng rng(seed);
   FuzzCase fuzz;
-  fuzz.memory_size = 3 + rng.below(6);  // 3..8 cells
+  // n ∈ {3..200}: mostly small memories (dense FP interactions — every cell
+  // is involved), with a slice of mid and multi-word sizes so packed ==
+  // scalar is locked beyond the old 64-cell snapshot ceiling (word-boundary
+  // arithmetic, boundary-cell bindings at n - 1 ≥ 64).
+  const std::size_t size_class = rng.below(8);
+  if (size_class < 6) {
+    fuzz.memory_size = 3 + rng.below(6);  // 3..8 cells
+  } else if (size_class == 6) {
+    fuzz.memory_size = 9 + rng.below(56);  // 9..64 cells
+  } else {
+    fuzz.memory_size = 65 + rng.below(136);  // 65..200 cells (multi-word)
+  }
   fuzz.both_power_on_states = rng.coin();
   fuzz.test = random_march_test(rng);
   fuzz.instance = rng.coin()
