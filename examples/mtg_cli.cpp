@@ -4,8 +4,9 @@
 //       list the published march tests with complexity
 //   mtg_cli lists
 //       show the built-in fault lists and their sizes
-//   mtg_cli generate <list1|list2|simple|retention>
-//       generate a march test for a built-in fault list
+//   mtg_cli generate <list1|list2|simple|retention> [--stats]
+//       generate a march test for a built-in fault list; --stats prints the
+//       per-phase timing breakdown and the generation lap log
 //   mtg_cli coverage "<march notation>" <list1|list2|simple|retention> [n]
 //       fault-simulate a march test (e.g. "{c(w0); ^(r0,w1); v(r1,w0)}")
 //   mtg_cli coverage "<march notation>" <list> --sweep 64,256,4096,65536
@@ -58,7 +59,7 @@ int cmd_lists() {
   return 0;
 }
 
-int cmd_generate(const std::string& list_name) {
+int cmd_generate(const std::string& list_name, bool stats) {
   const FaultList list = list_by_name(list_name);
   const GenerationResult result = generate_march_test(list);
   std::cout << result.test.to_string() << "\n"
@@ -67,6 +68,24 @@ int cmd_generate(const std::string& list_name) {
             << result.certification.summary() << "\n";
   for (const std::string& name : result.uncoverable) {
     std::cout << "uncoverable: " << name << "\n";
+  }
+  if (stats) {
+    const GenerationStats& s = result.stats;
+    std::cout << "--- generation stats ---\n"
+              << "phase A (greedy):        " << s.phase_a_seconds << " s ("
+              << s.greedy_rounds << " rounds, " << s.working_instances
+              << " instances, pool " << s.candidate_pool << ")\n"
+              << "certify state prep:      " << s.cert_prep_seconds << " s ("
+              << s.certify_instances << " instances)\n"
+              << "phase B (certification): " << s.phase_b_seconds << " s ("
+              << s.certify_iterations << " iterations, "
+              << s.instances_dropped << " instances dropped)\n"
+              << "phase C (minimizer):     " << s.phase_c_seconds << " s ("
+              << s.minimize_trials << " trials, "
+              << s.minimize_element_replays << " element replays)\n"
+              << "phase B2 (re-certify):   " << s.phase_b2_seconds << " s\n"
+              << "--- generation log ---\n";
+    for (const std::string& line : s.log) std::cout << line << "\n";
   }
   return result.full_coverage ? 0 : 1;
 }
@@ -154,7 +173,7 @@ int usage() {
   std::cerr << "usage:\n"
             << "  mtg_cli catalog\n"
             << "  mtg_cli lists\n"
-            << "  mtg_cli generate <list1|list2|simple|retention>\n"
+            << "  mtg_cli generate <list1|list2|simple|retention> [--stats]\n"
             << "  mtg_cli coverage \"<march notation>\" "
                "<list1|list2|simple|retention> [n]\n"
             << "  mtg_cli coverage \"<march notation>\" <list> "
@@ -170,7 +189,11 @@ int main(int argc, char** argv) {
     const std::string command = argc > 1 ? argv[1] : "";
     if (command == "catalog") return cmd_catalog();
     if (command == "lists") return cmd_lists();
-    if (command == "generate" && argc > 2) return cmd_generate(argv[2]);
+    if (command == "generate" && argc > 2) {
+      const bool stats = argc > 3 && std::string(argv[3]) == "--stats";
+      if (argc > (stats ? 4 : 3)) return usage();
+      return cmd_generate(argv[2], stats);
+    }
     if (command == "coverage" && argc > 3) {
       if (argc > 4 && std::string(argv[4]) == "--sweep") {
         if (argc < 6) return usage();  // size list missing

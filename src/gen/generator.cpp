@@ -11,162 +11,10 @@
 #include "gen/minimizer.hpp"
 #include "sim/fault_instance.hpp"
 #include "sim/packed_engine.hpp"
+#include "sim/prefix_sim.hpp"
 
 namespace mtg {
 namespace {
-
-/// Greedy coverage engine: keeps, for every fault instance, the state of
-/// every (power-on value, ⇕-order assignment) scenario at the end of the
-/// current test prefix, so candidate march elements are evaluated
-/// incrementally (no prefix re-simulation).  Scenarios live in the packed
-/// engine's 64-bit lane blocks: one run_element call advances every scenario
-/// of an instance at once, over its involved cells only.
-class GreedyEngine {
- public:
-  GreedyEngine(std::size_t memory_size, std::vector<FaultInstance> instances,
-               const MarchTest& prefix, bool both_power_on_states)
-      : instances_(std::move(instances)) {
-    const CompiledTest compiled = compile_march_test(prefix);
-    require(compiled.any_count <= 10,
-            "too many ⇕ elements in the generation prefix");
-    const std::size_t combos = std::size_t{1} << compiled.any_count;
-    const std::size_t total = (both_power_on_states ? 2 : 1) * combos;
-
-    items_.reserve(instances_.size());
-    for (const FaultInstance& inst : instances_) {
-      require_addresses_fit(inst, memory_size);
-      // Unlike the simulator entry points, the greedy engine has no scalar
-      // fallback: reject oversized instances loudly at entry.
-      require(PackedFaultSim::supports(inst),
-              "the greedy engine supports at most " +
-                  std::to_string(PackedFaultSim::kMaxFps) +
-                  " bound FPs per fault instance");
-      Item item;
-      item.instance = &inst;
-      item.sim = PackedFaultSim(inst);
-      for (std::size_t base = 0; base < total; base += 64) {
-        PackedFaultSim::Lanes lanes;
-        item.sim.power_on_block(lanes, base, total, combos,
-                                both_power_on_states);
-        for (std::size_t e = 0; e < prefix.elements().size(); ++e) {
-          const MarchElement& element = prefix.elements()[e];
-          item.sim.run_element(lanes, element, compiled.traces[e],
-                               element_down_word(element,
-                                                 compiled.any_ordinal[e], base,
-                                                 combos));
-          if (lanes.detected == lanes.active) break;
-        }
-        item.blocks.push_back(lanes);
-      }
-      item.done = all_detected(item);
-      items_.push_back(std::move(item));
-    }
-  }
-
-  std::size_t undetected_instances() const {
-    std::size_t count = 0;
-    for (const Item& item : items_) count += item.done ? 0 : 1;
-    return count;
-  }
-
-  /// Fault-list indices of the instances still undetected.
-  std::set<std::size_t> undetected_fault_indices() const {
-    std::set<std::size_t> out;
-    for (const Item& item : items_) {
-      if (!item.done) out.insert(item.instance->fault_index);
-    }
-    return out;
-  }
-
-  /// Marks every instance of the given faults as out of scope (uncoverable).
-  void exclude_faults(const std::set<std::size_t>& fault_indices) {
-    for (Item& item : items_) {
-      if (fault_indices.count(item.instance->fault_index) > 0) item.done = true;
-    }
-  }
-
-  /// Number of undetected (instance, scenario) pairs.
-  std::size_t undetected_scenarios() const {
-    std::size_t count = 0;
-    for (const Item& item : items_) {
-      if (item.done) continue;
-      for (const PackedFaultSim::Lanes& block : item.blocks) {
-        count += lane_popcount(block.active & ~block.detected);
-      }
-    }
-    return count;
-  }
-
-  /// Gain of appending the candidate: the number of (instance, scenario)
-  /// pairs it newly detects.  Scenario granularity matters: an element can
-  /// make progress on one power-on polarity only (the complementary
-  /// polarity being handled by a later element), which instance-level
-  /// counting would miss and stall on.  ⇕ candidates are evaluated in their
-  /// ⇑ reading (as the scalar engine did); certification re-resolves ⇕
-  /// orders exactly.
-  ///
-  /// `abort_below(g, remaining)` lets the caller prune hopeless candidates:
-  /// it receives the gain so far and the number of unscanned scenarios and
-  /// returns true to abandon the evaluation (result is then a lower bound).
-  template <typename AbortFn>
-  std::size_t gain(const MarchElement& candidate, const ElementTrace& trace,
-                   AbortFn abort_below) const {
-    const std::uint64_t down =
-        candidate.order() == AddressOrder::Down ? ~std::uint64_t{0} : 0;
-    std::size_t g = 0;
-    std::size_t remaining = undetected_scenarios();
-    for (const Item& item : items_) {
-      if (item.done) continue;
-      for (const PackedFaultSim::Lanes& block : item.blocks) {
-        const std::size_t undetected =
-            lane_popcount(block.active & ~block.detected);
-        if (undetected == 0) continue;
-        remaining -= undetected;
-        PackedFaultSim::Lanes trial = block;  // plain-data copy
-        const std::size_t newly = lane_popcount(
-            item.sim.run_element(trial, candidate, trace, down));
-        g += newly;
-        // Match the scalar engine's abort placement: only after a failure.
-        // A candidate that detects everything must return its exact gain,
-        // or it could lose the score-tie g tie-break it deserves to win.
-        if (newly < undetected && abort_below(g, remaining)) return g;
-      }
-    }
-    return g;
-  }
-
-  /// Appends the candidate to the tracked prefix state.
-  void commit(const MarchElement& candidate, const ElementTrace& trace) {
-    const std::uint64_t down =
-        candidate.order() == AddressOrder::Down ? ~std::uint64_t{0} : 0;
-    for (Item& item : items_) {
-      if (item.done) continue;
-      for (PackedFaultSim::Lanes& block : item.blocks) {
-        if ((block.active & ~block.detected) == 0) continue;  // fully detected
-        item.sim.run_element(block, candidate, trace, down);
-      }
-      item.done = all_detected(item);
-    }
-  }
-
- private:
-  struct Item {
-    const FaultInstance* instance = nullptr;
-    PackedFaultSim sim;  ///< the instance compiled to involved-cell slots
-    std::vector<PackedFaultSim::Lanes> blocks;  ///< scenario lane state
-    bool done = false;
-  };
-
-  static bool all_detected(const Item& item) {
-    for (const PackedFaultSim::Lanes& block : item.blocks) {
-      if ((block.active & ~block.detected) != 0) return false;
-    }
-    return true;
-  }
-
-  std::vector<FaultInstance> instances_;
-  std::vector<Item> items_;
-};
 
 /// The greedy loop of Figure 5: append the best-scoring valid SO until the
 /// engine's fault set is covered or no candidate helps.  Candidate gains are
@@ -175,7 +23,7 @@ class GreedyEngine {
 /// runs sequentially in pool order, so the selected element — and hence the
 /// generated test — is identical for every thread count.  Returns the fault
 /// indices reported uncoverable (step d.i).
-std::set<std::size_t> greedy_cover(GreedyEngine& engine,
+std::set<std::size_t> greedy_cover(PrefixEngine& engine,
                                    const std::vector<MarchElement>& pool,
                                    MarchTest& test,
                                    const GeneratorOptions& options,
@@ -212,6 +60,11 @@ std::set<std::size_t> greedy_cover(GreedyEngine& engine,
       eligible.push_back(c);
     }
 
+    // The total undetected (instance, scenario) count is the same for every
+    // candidate of the scan: compute the O(items × blocks) rescan once per
+    // round instead of once per gain() call.
+    const std::size_t undetected_before = engine.undetected_scenarios();
+
     // Parallel gain scan.  Each worker prunes against its own running best
     // score — a lower bound of the global maximum, so pruning only abandons
     // candidates that cannot win.  The bound is compared strictly: a
@@ -229,7 +82,7 @@ std::set<std::size_t> greedy_cover(GreedyEngine& engine,
             const std::size_t c = eligible[i];
             const double cost = static_cast<double>(pool[c].cost());
             gains[i] = engine.gain(
-                pool[c], pool_traces[c],
+                pool[c], pool_traces[c], undetected_before,
                 [&](std::size_t so_far, std::size_t remaining) {
                   return static_cast<double>(so_far + remaining) / cost <
                          bound;
@@ -309,12 +162,16 @@ GenerationResult generate_march_test(const FaultList& list,
   const auto t0 = std::chrono::steady_clock::now();
   GenerationResult result;
   GenerationStats& stats = result.stats;
-  const auto lap = [&](const char* phase) {
+  auto last_lap = t0;
+  const auto lap = [&](const char* phase, double* phase_seconds) {
+    const auto now = std::chrono::steady_clock::now();
+    if (phase_seconds != nullptr) {
+      *phase_seconds = std::chrono::duration<double>(now - last_lap).count();
+    }
+    last_lap = now;
     stats.log.push_back(
         std::string(phase) + " done at t=" +
-        std::to_string(std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - t0)
-                           .count()) +
+        std::to_string(std::chrono::duration<double>(now - t0).count()) +
         " s");
   };
 
@@ -327,6 +184,11 @@ GenerationResult generate_march_test(const FaultList& list,
   // Shared gain-scan pool; the calling thread participates in every scan.
   ThreadPool workers(ThreadPool::resolve_thread_count(options.gain_threads) -
                      1);
+  // Certification pool: spreads the surviving certify-size instances over
+  // worker threads (items are independent; all reductions run in instance
+  // order, so the generated test is identical for every thread count).
+  ThreadPool cert_workers(
+      ThreadPool::resolve_thread_count(options.certify_threads) - 1);
 
   // Seed: the canonical initialization element ⇕(w0).
   MarchTest test("generated", {MarchElement(AddressOrder::Any, {Op::W0})});
@@ -337,50 +199,71 @@ GenerationResult generate_march_test(const FaultList& list,
   stats.working_instances = working.size();
   std::set<std::size_t> uncoverable;
   {
-    GreedyEngine engine(options.working_memory_size, working, test,
-                        options.both_power_on_states);
-    stats.log.push_back("phase A: " + std::to_string(working.size()) +
+    PrefixEngine engine(options.working_memory_size, std::move(working),
+                        test,
+                        PrefixEngine::Options{options.both_power_on_states,
+                                              /*record_checkpoints=*/false});
+    stats.log.push_back("phase A: " +
+                        std::to_string(engine.num_instances()) +
                         " instances at n=" +
                         std::to_string(options.working_memory_size));
     auto stalled = greedy_cover(engine, pool, test, options, workers, stats);
     uncoverable.insert(stalled.begin(), stalled.end());
   }
-  lap("phase A (greedy)");
+  lap("phase A (greedy)", &stats.phase_a_seconds);
 
-  // -- Phase B: certification loop (CEGIS) ------------------------------
-  const FaultSimulator cert_sim(SimulatorOptions{
-      options.certify_memory_size, options.both_power_on_states, 10});
-  const std::vector<FaultInstance> cert_instances = instantiate_all(
-      list, options.certify_memory_size, options.max_instances_per_fault);
-  stats.certify_instances = cert_instances.size();
+  // -- Phase B: incremental certification loop (CEGIS) ------------------
+  // The persistent engine simulates every certify-size instance to the end
+  // of the phase-A test exactly once (this prep is the unavoidable first
+  // full-prefix simulation; checkpoints are recorded for the phase-C
+  // rewind).  Every later round only replays elements appended since the
+  // previous sync, and instances detected under every scenario are dropped
+  // permanently: march tests grow append-only within the CEGIS loop and
+  // detection is sticky, so a dropped instance can never escape again.
+  std::vector<FaultInstance> cert_instances;
+  for (FaultInstance& instance : instantiate_all(
+           list, options.certify_memory_size,
+           options.max_instances_per_fault)) {
+    ++stats.certify_instances;
+    // Faults phase A already reported uncoverable are out of scope — skip
+    // them before paying their full-prefix simulation.
+    if (uncoverable.count(instance.fault_index) == 0) {
+      cert_instances.push_back(std::move(instance));
+    }
+  }
+  PrefixEngine cert_engine(
+      options.certify_memory_size, std::move(cert_instances), test,
+      PrefixEngine::Options{options.both_power_on_states,
+                            /*record_checkpoints=*/options.minimize},
+      &cert_workers);
+  lap("phase B prep (persistent certify state)", &stats.cert_prep_seconds);
 
   auto certify_and_extend = [&]() {
     for (std::size_t iter = 0; iter < options.max_certify_iterations; ++iter) {
-      // The test is fixed within an iteration: compile it once instead of
-      // recompiling per detects() call.
-      const CompiledTest compiled = compile_march_test(test);
-      std::vector<FaultInstance> missed;
-      for (const FaultInstance& instance : cert_instances) {
-        if (uncoverable.count(instance.fault_index) > 0) continue;
-        if (!cert_sim.detects_compiled(test, compiled, instance)) {
-          missed.push_back(instance);
-        }
-      }
-      if (missed.empty()) return;
+      // Replay the suffix appended since the last sync (a no-op on the
+      // first round after prep) and scan the survivors.
+      cert_engine.advance(test, &cert_workers);
+      const std::size_t missed = cert_engine.undetected_instances();
+      if (missed == 0) return;
       ++stats.certify_iterations;
-      stats.log.push_back("certification found " +
-                          std::to_string(missed.size()) +
-                          " escaped instances at n=" +
-                          std::to_string(options.certify_memory_size));
-      GreedyEngine engine(options.certify_memory_size, std::move(missed), test,
-                          options.both_power_on_states);
+      stats.log.push_back(
+          "certification found " + std::to_string(missed) +
+          " escaped instances at n=" +
+          std::to_string(options.certify_memory_size) + " (" +
+          std::to_string(cert_engine.dropped_instances()) +
+          " instances dropped)");
+      // Extend greedily from the persistent lane state: the scratch clone
+      // holds exactly the escaped instances, already simulated to the end
+      // of the test — no from-scratch rebuild.
+      PrefixEngine scratch = cert_engine.clone_undetected();
       auto stalled =
-          greedy_cover(engine, pool, test, options, workers, stats);
+          greedy_cover(scratch, pool, test, options, workers, stats);
       uncoverable.insert(stalled.begin(), stalled.end());
+      cert_engine.exclude_faults(uncoverable);
     }
   };
   certify_and_extend();
-  lap("phase B (certification)");
+  lap("phase B (certification)", &stats.phase_b_seconds);
 
   // -- Phase C: redundancy elimination ----------------------------------
   stats.complexity_before_minimize = test.complexity();
@@ -402,13 +285,24 @@ GenerationResult generate_march_test(const FaultList& list,
                      [](const FaultInstance& x, const FaultInstance& y) {
                        return x.fault_index > y.fault_index;
                      });
-    test = minimize_test(min_sim, test, min_instances, &stats.log);
-    lap("phase C (minimizer)");
+    MinimizeStats min_stats;
+    test = minimize_test(min_sim, test, min_instances, &stats.log,
+                         &min_stats);
+    stats.minimize_trials = min_stats.trials;
+    stats.minimize_element_replays = min_stats.element_replays;
+    lap("phase C (minimizer)", &stats.phase_c_seconds);
+    // Re-certify the minimized test.  The persistent engine rewinds to the
+    // checkpoint at the longest prefix the minimizer left untouched and
+    // replays only the remainder; instances detected within that prefix
+    // stay dropped.
     certify_and_extend();  // a removal may only matter at certify size
-    lap("phase B2 (re-certification)");
+    lap("phase B2 (re-certification)", &stats.phase_b2_seconds);
   }
+  stats.instances_dropped = cert_engine.dropped_instances();
 
   // -- Final report ------------------------------------------------------
+  const FaultSimulator cert_sim(SimulatorOptions{
+      options.certify_memory_size, options.both_power_on_states, 10});
   result.certification = evaluate_coverage(cert_sim, test, list,
                                            options.max_instances_per_fault);
   result.full_coverage = true;

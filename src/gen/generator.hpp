@@ -61,6 +61,11 @@ struct GeneratorOptions {
   /// hardware concurrency, 1 runs the scan on the calling thread.  The
   /// generated test is identical for every thread count.
   std::size_t gain_threads = 0;
+  /// Threads for the persistent certification engine (building the packed
+  /// prefix state and replaying appended suffixes spreads the surviving
+  /// instances over a bounded pool).  Same 0/1 convention as gain_threads;
+  /// the generated test is identical for every thread count.
+  std::size_t certify_threads = 0;
   /// Per-fault layout bound for every instantiation (working, certification,
   /// minimization and the final report); 0 = full enumeration.  Lets the
   /// certify size scale past the O(n²) two-cell layout blow-up — the memory
@@ -76,7 +81,26 @@ struct GenerationStats {
   std::size_t certify_instances = 0;
   std::size_t certify_iterations = 0;
   std::size_t complexity_before_minimize = 0;
+  /// Certify-size instances dropped permanently by the persistent
+  /// certification engine (detected under every scenario; fault dropping).
+  std::size_t instances_dropped = 0;
+  /// Minimizer trials attempted and (instance, element) suffix replays they
+  /// cost — the checkpointed minimizer's work unit (a from-scratch rescan
+  /// would cost ~ trials × instances × test length replays).
+  std::size_t minimize_trials = 0;
+  std::size_t minimize_element_replays = 0;
   double elapsed_seconds = 0.0;
+  // Per-phase wall times (see the phase walkthrough in gen/generator.hpp's
+  // file comment and README "Generator pipeline").  cert_prep_seconds is
+  // the one-time construction of the persistent certification state — the
+  // full-prefix simulation every certification scheme pays exactly once;
+  // the B/B2 rounds themselves only replay appended suffixes and restored
+  // checkpoints.
+  double phase_a_seconds = 0.0;
+  double cert_prep_seconds = 0.0;
+  double phase_b_seconds = 0.0;
+  double phase_c_seconds = 0.0;
+  double phase_b2_seconds = 0.0;
   std::vector<std::string> log;  ///< human-readable generation trace
 };
 

@@ -1,33 +1,42 @@
 #include "gen/minimizer.hpp"
 
-namespace mtg {
+#include <functional>
 
-bool covers_all(const FaultSimulator& simulator, const MarchTest& test,
-                const std::vector<FaultInstance>& instances) {
-  if (!FaultSimulator::validity_violation(test).empty()) return false;
-  return simulator.detects_all(test, instances);
+#include "sim/prefix_sim.hpp"
+
+namespace mtg {
+namespace {
+
+void note(std::vector<std::string>* log, const std::string& line) {
+  if (log != nullptr) log->push_back(line);
 }
 
-MarchTest minimize_test(const FaultSimulator& simulator, const MarchTest& test,
-                        const std::vector<FaultInstance>& instances,
-                        std::vector<std::string>* log) {
-  MarchTest current = test;
-  const auto note = [&](const std::string& line) {
-    if (log != nullptr) log->push_back(line);
-  };
+/// Verdict of one removal attempt: the trial test (element `edit` dropped,
+/// or swapped for `replacement`) keeps full coverage.
+using TrialFn = std::function<bool(const MarchTest& trial, std::size_t edit,
+                                   const MarchElement* replacement)>;
 
+/// Shared greedy removal loop — the one place that defines the trial order
+/// (whole elements in position order, then single ops), so the incremental
+/// and rescan paths cannot drift apart.  `on_accept` re-syncs path-specific
+/// state after a kept removal.
+MarchTest minimize_loop(const MarchTest& test, std::vector<std::string>* log,
+                        const TrialFn& try_trial,
+                        const std::function<void(const MarchTest&)>& on_accept) {
+  MarchTest current = test;
   bool changed = true;
   while (changed) {
     changed = false;
 
-    // Try dropping whole elements, longest first (largest win per attempt).
+    // Try dropping whole elements, in position order.
     for (std::size_t i = 0; i < current.elements().size(); ++i) {
       if (current.elements().size() == 1) break;
       MarchTest trial = current;
       trial.elements().erase(trial.elements().begin() + i);
-      if (covers_all(simulator, trial, instances)) {
-        note("dropped element " + current.elements()[i].to_string());
+      if (try_trial(trial, i, nullptr)) {
+        note(log, "dropped element " + current.elements()[i].to_string());
         current = std::move(trial);
+        on_accept(current);
         changed = true;
         break;
       }
@@ -42,12 +51,14 @@ MarchTest minimize_test(const FaultSimulator& simulator, const MarchTest& test,
         std::vector<Op> ops = element.ops();
         const Op removed = ops[j];
         ops.erase(ops.begin() + j);
+        const MarchElement replacement(element.order(), std::move(ops));
         MarchTest trial = current;
-        trial.elements()[i] = MarchElement(element.order(), std::move(ops));
-        if (covers_all(simulator, trial, instances)) {
-          note("dropped op " + to_string(removed) + " from " +
-               element.to_string());
+        trial.elements()[i] = replacement;
+        if (try_trial(trial, i, &replacement)) {
+          note(log, "dropped op " + to_string(removed) + " from " +
+                        element.to_string());
           current = std::move(trial);
+          on_accept(current);
           changed = true;
           break;
         }
@@ -55,6 +66,72 @@ MarchTest minimize_test(const FaultSimulator& simulator, const MarchTest& test,
     }
   }
   return current;
+}
+
+}  // namespace
+
+bool covers_all(const FaultSimulator& simulator, const MarchTest& test,
+                const std::vector<FaultInstance>& instances) {
+  if (!FaultSimulator::validity_violation(test).empty()) return false;
+  return simulator.detects_all(test, instances);
+}
+
+MarchTest minimize_test_rescan(const FaultSimulator& simulator,
+                               const MarchTest& test,
+                               const std::vector<FaultInstance>& instances,
+                               std::vector<std::string>* log,
+                               MinimizeStats* stats) {
+  return minimize_loop(
+      test, log,
+      [&](const MarchTest& trial, std::size_t, const MarchElement*) {
+        if (stats != nullptr) {
+          ++stats->trials;
+          ++stats->full_rescans;
+        }
+        return covers_all(simulator, trial, instances);
+      },
+      [](const MarchTest&) {});
+}
+
+MarchTest minimize_test(const FaultSimulator& simulator, const MarchTest& test,
+                        const std::vector<FaultInstance>& instances,
+                        std::vector<std::string>* log, MinimizeStats* stats) {
+  bool incremental = simulator.options().use_packed_engine;
+  for (const FaultInstance& instance : instances) {
+    incremental = incremental && PackedFaultSim::supports(instance);
+  }
+  if (!incremental) {
+    return minimize_test_rescan(simulator, test, instances, log, stats);
+  }
+
+  // One full simulation of every instance, with per-element checkpoints;
+  // every trial below replays only the suffix after its edit point.
+  PrefixEngine engine(
+      simulator.options().memory_size, &instances, test,
+      PrefixEngine::Options{simulator.options().both_power_on_states,
+                            /*record_checkpoints=*/true,
+                            simulator.options().max_any_order_elements});
+  engine.reset_stats();  // report trial/rewind work, not the one-time build
+  const MarchTest minimized = minimize_loop(
+      test, log,
+      // Identical accept/reject decisions to the rescan path: covers_all()
+      // rejects invalid trials before simulating, and trial_covers()
+      // reproduces detects_all() verdicts (detection replayed from the
+      // checkpoint before the edit is exact — the prefix below the edit is
+      // untouched).
+      [&](const MarchTest& trial, std::size_t edit,
+          const MarchElement* replacement) {
+        if (stats != nullptr) ++stats->trials;
+        if (!FaultSimulator::validity_violation(trial).empty()) return false;
+        return engine.trial_covers(edit, replacement);
+      },
+      [&](const MarchTest& current) {
+        engine.advance(current);  // checkpoint rewind + suffix re-record
+      });
+  if (stats != nullptr) {
+    stats->element_replays += engine.stats().element_replays;
+  }
+  return minimized;
 }
 
 }  // namespace mtg

@@ -6,8 +6,18 @@
 // whenever the shortened test remains valid and still detects every target
 // fault instance.  The result is locally minimal: no single element or
 // operation can be removed without losing coverage.
+//
+// Trials run on the incremental prefix engine (sim/prefix_sim.hpp): the
+// instances are simulated once to the end of the current test with
+// per-element checkpoints, and a "drop element i / drop op j" trial restores
+// the checkpoint before the edit and replays only the suffix, bailing out at
+// the first surviving undetected instance.  Instances detected strictly
+// before the edit are skipped outright.  Verdicts — and therefore the
+// minimized test — are identical to the from-scratch rescan
+// (minimize_test_rescan, kept as the differential-testing reference).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -20,10 +30,36 @@ namespace mtg {
 bool covers_all(const FaultSimulator& simulator, const MarchTest& test,
                 const std::vector<FaultInstance>& instances);
 
+/// Work counters of one minimize_test call.
+struct MinimizeStats {
+  std::size_t trials = 0;  ///< element/op removal attempts
+  /// (instance, element) replays the trials cost.  A from-scratch rescan
+  /// would cost ~ trials × instances × test length; checkpointed trials pay
+  /// only the replayed suffix of the instances not already detected by the
+  /// untouched prefix.
+  std::size_t element_replays = 0;
+  /// Trials answered by full-test re-simulation — 0 on the incremental
+  /// path; counts only when the scalar/unsupported fallback ran.
+  std::size_t full_rescans = 0;
+};
+
 /// Returns a locally minimal test with the same coverage of `instances`.
-/// Appends a human-readable action trace to `log` when non-null.
+/// Appends a human-readable action trace to `log` when non-null; fills
+/// `stats` when non-null.  Uses the checkpointed incremental path whenever
+/// the simulator options select the packed engine and every instance fits
+/// it, and falls back to minimize_test_rescan otherwise.
 MarchTest minimize_test(const FaultSimulator& simulator, const MarchTest& test,
                         const std::vector<FaultInstance>& instances,
-                        std::vector<std::string>* log = nullptr);
+                        std::vector<std::string>* log = nullptr,
+                        MinimizeStats* stats = nullptr);
+
+/// Reference implementation: every trial re-simulates the whole trial test
+/// against every instance (FaultSimulator::detects_all).  Kept as the
+/// differential-testing oracle for the incremental path.
+MarchTest minimize_test_rescan(const FaultSimulator& simulator,
+                               const MarchTest& test,
+                               const std::vector<FaultInstance>& instances,
+                               std::vector<std::string>* log = nullptr,
+                               MinimizeStats* stats = nullptr);
 
 }  // namespace mtg

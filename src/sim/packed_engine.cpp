@@ -158,6 +158,26 @@ PackedFaultSim::PackedFaultSim(const FaultInstance& instance) {
   }
 }
 
+std::string PackedFaultSim::signature() const {
+  std::string out;
+  out.reserve(2 + num_fps_ * 5);
+  out.push_back(static_cast<char>(num_slots_));
+  out.push_back(static_cast<char>(num_fps_));
+  for (std::size_t i = 0; i < num_fps_; ++i) {
+    const Fp& fp = fps_[i];
+    out.push_back(static_cast<char>(fp.v_slot));
+    out.push_back(static_cast<char>(fp.a_slot));
+    out.push_back(static_cast<char>(fp.sense_slot));
+    out.push_back(static_cast<char>(fp.sense));
+    out.push_back(static_cast<char>(
+        (fp.two_cell ? 1 : 0) | (fp.state_fault ? 2 : 0) |
+        (fp.op_on_victim ? 4 : 0) | (fp.v_state_one ? 8 : 0) |
+        (fp.a_state_one ? 16 : 0) | (fp.fault_one ? 32 : 0) |
+        (fp.read_one ? 64 : 0)));
+  }
+  return out;
+}
+
 std::uint64_t PackedFaultSim::condition_word(const Lanes& lanes,
                                              const Fp& fp) const {
   std::uint64_t cond =

@@ -78,6 +78,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -180,6 +181,19 @@ class PackedFaultSim {
   std::size_t num_slots() const noexcept { return num_slots_; }
   /// Memory address of involved cell `slot` (slots are address-ascending).
   std::size_t slot_address(std::size_t slot) const { return cells_[slot]; }
+
+  /// Canonical byte string of the compiled fault structure — the slot count
+  /// and every lowered FP field — *excluding* the involved-cell addresses.
+  /// The simulation itself never reads the addresses (power_on/run_element
+  /// touch cells only through their dense slot indices, and slots are
+  /// address-ascending), so two instances with equal signatures have
+  /// bit-identical lane evolutions against every test: the layout only
+  /// contributes its relative order, which the slot numbering captures.
+  /// The prefix engine (sim/prefix_sim.hpp) collapses equal-signature
+  /// instances of a fault into one weighted item.  Any future fault model
+  /// whose packed semantics read absolute addresses (e.g. address-decoder
+  /// faults) must extend this signature alongside Fp.
+  std::string signature() const;
 
   /// Per-block lane state; plain data, copyable (the greedy engine's trial
   /// evaluation relies on cheap copies).

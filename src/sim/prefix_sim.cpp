@@ -1,0 +1,379 @@
+#include "sim/prefix_sim.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace mtg {
+
+PrefixEngine::PrefixEngine(std::size_t memory_size, Options options)
+    : memory_size_(memory_size), options_(options) {
+  any_before_.push_back(0);
+}
+
+PrefixEngine::PrefixEngine(std::size_t memory_size,
+                           std::vector<FaultInstance> instances,
+                           const MarchTest& prefix, Options options,
+                           ThreadPool* pool)
+    : PrefixEngine(memory_size, options) {
+  owned_ = std::move(instances);
+  initialize(owned_, prefix, pool);
+}
+
+PrefixEngine::PrefixEngine(std::size_t memory_size,
+                           const std::vector<FaultInstance>* instances,
+                           const MarchTest& prefix, Options options,
+                           ThreadPool* pool)
+    : PrefixEngine(memory_size, options) {
+  initialize(*instances, prefix, pool);
+}
+
+bool PrefixEngine::all_detected(
+    const std::vector<PackedFaultSim::Lanes>& blocks) {
+  for (const PackedFaultSim::Lanes& block : blocks) {
+    if ((block.active & ~block.detected) != 0) return false;
+  }
+  return true;
+}
+
+void PrefixEngine::append_plan(const MarchTest& test, std::size_t from) {
+  for (std::size_t e = from; e < test.elements().size(); ++e) {
+    const MarchElement& element = test.elements()[e];
+    traces_.push_back(compile_element_trace(element));
+    std::size_t any = any_before_.back();
+    if (element.order() == AddressOrder::Any) {
+      ordinals_.push_back(static_cast<int>(any));
+      ++any;
+    } else {
+      ordinals_.push_back(-1);
+    }
+    any_before_.push_back(any);
+  }
+  require(any_before_.back() <= options_.max_any_order_elements,
+          "too many ⇕ elements in the generation prefix");
+}
+
+void PrefixEngine::expand_blocks(std::vector<PackedFaultSim::Lanes>& blocks,
+                                 std::size_t old_combos) const {
+  // Scenario sc = power_on · combos + mask (power-on major, ⇕-mask minor;
+  // see sim/packed_engine.hpp).  The new ⇕ element is appended last, so it
+  // takes the highest ordinal: its mask bit has weight `old_combos`, and the
+  // source scenario of a new lane is found by clearing that bit.
+  const std::size_t new_combos = 2 * old_combos;
+  const std::size_t new_total = power_states() * new_combos;
+  std::vector<PackedFaultSim::Lanes> out((new_total + 63) / 64);
+  for (std::size_t nb = 0; nb < out.size(); ++nb) {
+    PackedFaultSim::Lanes& dst = out[nb];
+    const std::size_t base = nb * 64;
+    dst.active = scenario_active_word(base, new_total);
+    for (std::size_t l = 0; l < 64; ++l) {
+      const std::size_t sc = base + l;
+      if (sc >= new_total) break;
+      const std::size_t src = (sc / new_combos) * old_combos +
+                              (sc % new_combos) % old_combos;
+      const PackedFaultSim::Lanes& s = blocks[src / 64];
+      const std::size_t sl = src % 64;
+      const std::uint64_t bit = std::uint64_t{1} << l;
+      if ((s.detected >> sl) & 1u) dst.detected |= bit;
+      if ((s.uniform >> sl) & 1u) dst.uniform |= bit;
+      for (std::size_t slot = 0; slot < PackedFaultSim::kMaxSlots; ++slot) {
+        if ((s.val[slot] >> sl) & 1u) dst.val[slot] |= bit;
+      }
+      for (std::size_t f = 0; f < PackedFaultSim::kMaxFps; ++f) {
+        if ((s.armed[f] >> sl) & 1u) dst.armed[f] |= bit;
+      }
+    }
+  }
+  blocks = std::move(out);
+}
+
+std::size_t PrefixEngine::run_steps(
+    const Item& item, std::vector<PackedFaultSim::Lanes>& blocks,
+    std::size_t& combos, const Step* steps, std::size_t count,
+    std::vector<std::vector<PackedFaultSim::Lanes>>* checkpoints,
+    Stats& local) const {
+  for (std::size_t s = 0; s < count; ++s) {
+    if (checkpoints != nullptr) checkpoints->push_back(blocks);
+    const Step& step = steps[s];
+    if (step.ordinal >= 0) {
+      expand_blocks(blocks, combos);
+      combos *= 2;
+      ++local.lane_expansions;
+    }
+    ++local.element_replays;
+    bool done = true;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      PackedFaultSim::Lanes& lanes = blocks[b];
+      // Frozen: detection is sticky, so a fully detected block never needs
+      // another element (matching the full runner's early break; its stale
+      // cell values are unobservable).
+      if ((lanes.active & ~lanes.detected) == 0) continue;
+      item.sim.run_element(
+          lanes, *step.element, *step.trace,
+          element_down_word(*step.element, step.ordinal, b * 64, combos));
+      if ((lanes.active & ~lanes.detected) != 0) done = false;
+    }
+    if (done) return s;
+  }
+  return kNever;
+}
+
+void PrefixEngine::initialize(const std::vector<FaultInstance>& instances,
+                              const MarchTest& prefix, ThreadPool* pool) {
+  // Collapse equal-signature instances of a fault into one weighted
+  // representative: the packed simulation never reads absolute addresses
+  // (see PackedFaultSim::signature), so all layout instances with the same
+  // relative cell order evolve identically.  Representatives keep the
+  // first-occurrence order of the input set.
+  std::unordered_map<std::string, std::size_t> groups;
+  for (const FaultInstance& inst : instances) {
+    require_addresses_fit(inst, memory_size_);
+    // The engine has no scalar fallback: reject oversized instances loudly
+    // at entry.
+    require(PackedFaultSim::supports(inst),
+            "the prefix engine supports at most " +
+                std::to_string(PackedFaultSim::kMaxFps) +
+                " bound FPs per fault instance");
+    PackedFaultSim sim(inst);
+    std::string key = std::to_string(inst.fault_index);
+    key.push_back('#');
+    key += sim.signature();
+    const auto inserted = groups.emplace(std::move(key), items_.size());
+    if (!inserted.second) {
+      ++items_[inserted.first->second].weight;
+      continue;
+    }
+    Item item;
+    item.instance = &inst;
+    item.sim = sim;
+    items_.push_back(std::move(item));
+  }
+  prefix_ = prefix;
+  append_plan(prefix, 0);
+  sync_items(0, 0, pool);
+}
+
+void PrefixEngine::sync_items(std::size_t common, std::size_t previous_length,
+                              ThreadPool* pool) {
+  std::vector<Step> tail;
+  tail.reserve(prefix_.elements().size() - common);
+  for (std::size_t e = common; e < prefix_.elements().size(); ++e) {
+    tail.push_back(Step{&prefix_.elements()[e], &traces_[e], ordinals_[e]});
+  }
+
+  std::atomic<std::size_t> replays{0}, expansions{0};
+  const auto sync = [&](std::size_t, std::size_t begin, std::size_t end) {
+    Stats local;
+    for (std::size_t i = begin; i < end; ++i) {
+      Item& item = items_[i];
+      if (item.excluded) continue;
+      // Detected strictly within the common prefix: the appended/new suffix
+      // replays an unchanged detection — the instance stays dropped.
+      if (item.detected_at != kNever && item.detected_at < common) continue;
+      if (common == 0) {
+        // Syncing from scratch (construction, or a rewind diverging at the
+        // first element): the state before element 0 is the power-on block.
+        PackedFaultSim::Lanes lanes;
+        item.sim.power_on_block(lanes, 0, power_states(), 1,
+                                options_.both_power_on_states);
+        item.blocks.assign(1, lanes);
+        item.checkpoints.clear();
+        item.done = false;
+        item.detected_at = kNever;
+      } else if (item.done || common < previous_length) {
+        // The item's state is past `common` (frozen at detected_at + 1, or
+        // a live item being rewound): restore the checkpoint before it.
+        item.blocks = item.checkpoints[common];
+        item.checkpoints.resize(common);  // re-recorded by run_steps below
+        item.done = false;
+        item.detected_at = kNever;
+      }
+      std::size_t combos = std::size_t{1} << any_before_[common];
+      const std::size_t at = run_steps(
+          item, item.blocks, combos, tail.data(), tail.size(),
+          options_.record_checkpoints ? &item.checkpoints : nullptr, local);
+      if (at != kNever) {
+        item.detected_at = common + at;
+        item.done = true;
+      }
+    }
+    replays += local.element_replays;
+    expansions += local.lane_expansions;
+  };
+
+  if (pool == nullptr) {
+    sync(0, 0, items_.size());
+  } else {
+    pool->parallel_for(items_.size(), /*chunk=*/32, sync);
+  }
+  stats_.element_replays += replays.load();
+  stats_.lane_expansions += expansions.load();
+}
+
+std::size_t PrefixEngine::undetected_instances() const {
+  std::size_t count = 0;
+  for (const Item& item : items_) count += item.done ? 0 : item.weight;
+  return count;
+}
+
+std::size_t PrefixEngine::num_instances() const {
+  std::size_t count = 0;
+  for (const Item& item : items_) count += item.weight;
+  return count;
+}
+
+std::set<std::size_t> PrefixEngine::undetected_fault_indices() const {
+  std::set<std::size_t> out;
+  for (const Item& item : items_) {
+    if (!item.done) out.insert(item.instance->fault_index);
+  }
+  return out;
+}
+
+void PrefixEngine::exclude_faults(const std::set<std::size_t>& fault_indices) {
+  for (Item& item : items_) {
+    if (fault_indices.count(item.instance->fault_index) > 0) {
+      item.done = true;
+      item.excluded = true;
+    }
+  }
+}
+
+std::size_t PrefixEngine::undetected_scenarios() const {
+  std::size_t count = 0;
+  for (const Item& item : items_) {
+    if (item.done) continue;
+    for (const PackedFaultSim::Lanes& block : item.blocks) {
+      count += lane_popcount(block.active & ~block.detected) * item.weight;
+    }
+  }
+  return count;
+}
+
+void PrefixEngine::commit(const MarchElement& candidate,
+                          const ElementTrace& trace) {
+  approximate_ = true;
+  const std::uint64_t down =
+      candidate.order() == AddressOrder::Down ? ~std::uint64_t{0} : 0;
+  for (Item& item : items_) {
+    if (item.done) continue;
+    for (PackedFaultSim::Lanes& block : item.blocks) {
+      if ((block.active & ~block.detected) == 0) continue;  // fully detected
+      item.sim.run_element(block, candidate, trace, down);
+    }
+    item.done = all_detected(item.blocks);
+  }
+}
+
+void PrefixEngine::advance(const MarchTest& test, ThreadPool* pool) {
+  require(!approximate_,
+          "prefix engine: exact advance after a greedy commit()");
+  const std::vector<MarchElement>& old_elements = prefix_.elements();
+  const std::vector<MarchElement>& new_elements = test.elements();
+  std::size_t common = 0;
+  while (common < old_elements.size() && common < new_elements.size() &&
+         old_elements[common] == new_elements[common]) {
+    ++common;
+  }
+  const std::size_t previous_length = old_elements.size();
+  if (common == previous_length && common == new_elements.size()) return;
+  require(common == previous_length || options_.record_checkpoints,
+          "prefix engine: rewinding an edited test requires checkpoints");
+
+  traces_.resize(common);
+  ordinals_.resize(common);
+  any_before_.resize(common + 1);
+  prefix_ = test;
+  append_plan(test, common);
+  sync_items(common, previous_length, pool);
+}
+
+PrefixEngine PrefixEngine::clone_undetected() const {
+  require(!approximate_,
+          "prefix engine: cloning requires exact prefix state");
+  Options options = options_;
+  options.record_checkpoints = false;
+  PrefixEngine out(memory_size_, options);
+  out.prefix_ = prefix_;
+  out.traces_ = traces_;
+  out.ordinals_ = ordinals_;
+  out.any_before_ = any_before_;
+  for (const Item& item : items_) {
+    if (item.done) continue;
+    Item copy;
+    copy.instance = item.instance;  // shared: the parent must outlive us
+    copy.sim = item.sim;
+    copy.weight = item.weight;
+    copy.blocks = item.blocks;
+    out.items_.push_back(std::move(copy));
+  }
+  return out;
+}
+
+std::size_t PrefixEngine::dropped_instances() const {
+  std::size_t count = 0;
+  for (const Item& item : items_) {
+    if (item.done && !item.excluded) count += item.weight;
+  }
+  return count;
+}
+
+bool PrefixEngine::trial_covers(std::size_t edit,
+                                const MarchElement* replacement) {
+  require(!approximate_ && options_.record_checkpoints,
+          "prefix engine: trials require exact state with checkpoints");
+  require(edit < prefix_.elements().size(),
+          "prefix engine: trial edit index out of range");
+  ++stats_.trials;
+
+  // The trial plan: the (optional) replacement of element `edit`, then the
+  // recorded tail.  ⇕ ordinals are renumbered for the trial's own scenario
+  // space (dropping a ⇕ element shifts the tail's ordinals down).
+  ElementTrace replacement_trace;
+  std::vector<Step> plan;
+  plan.reserve(prefix_.elements().size() - edit);
+  std::size_t any = any_before_[edit];
+  if (replacement != nullptr) {
+    replacement_trace = compile_element_trace(*replacement);
+    int ordinal = -1;
+    if (replacement->order() == AddressOrder::Any) {
+      ordinal = static_cast<int>(any);
+      ++any;
+    }
+    plan.push_back(Step{replacement, &replacement_trace, ordinal});
+  }
+  for (std::size_t e = edit + 1; e < prefix_.elements().size(); ++e) {
+    const MarchElement& element = prefix_.elements()[e];
+    int ordinal = -1;
+    if (element.order() == AddressOrder::Any) {
+      ordinal = static_cast<int>(any);
+      ++any;
+    }
+    plan.push_back(Step{&element, &traces_[e], ordinal});
+  }
+
+  Stats local;
+  bool covered = true;
+  for (const Item& item : items_) {
+    if (item.excluded) continue;
+    // Detected strictly before the edit: the trial replays that detection
+    // unchanged (the prefix below `edit` is untouched).
+    if (item.detected_at != kNever && item.detected_at < edit) continue;
+    std::vector<PackedFaultSim::Lanes> scratch = item.checkpoints[edit];
+    std::size_t combos = std::size_t{1} << any_before_[edit];
+    if (run_steps(item, scratch, combos, plan.data(), plan.size(), nullptr,
+                  local) == kNever) {
+      covered = false;  // bail out at the first surviving instance
+      break;
+    }
+  }
+  stats_.element_replays += local.element_replays;
+  stats_.lane_expansions += local.lane_expansions;
+  return covered;
+}
+
+}  // namespace mtg

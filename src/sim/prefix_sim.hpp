@@ -1,0 +1,298 @@
+// The incremental prefix-state coverage engine: persistent packed lane state
+// for a set of fault instances at the end of a march-test prefix.
+//
+// This is the promoted generator GreedyEngine (formerly an anonymous class in
+// src/gen/generator.cpp), grown into the substrate for all three generator
+// phases:
+//
+//  * Greedy construction (phase A): candidate march elements are scored
+//    incrementally against the tracked prefix state (gain/commit), exactly as
+//    before.  ⇕ candidates are committed in their ⇑ reading — the greedy
+//    approximation the certification pass repairs.
+//  * Incremental certification (phase B, CEGIS): advance() replays only the
+//    elements appended since the last sync, with *exact* ⇕ resolution — when
+//    the suffix contains a ⇕ element the scenario lanes are expanded in
+//    place (every existing scenario splits into its ⇑ and ⇓ reading of the
+//    new element), which is sound because march tests only grow at the end:
+//    the new scenarios agree with their parent scenario on the entire
+//    already-simulated prefix.  Instances detected under every scenario are
+//    dropped permanently (classic fault dropping — detection is sticky and
+//    appended elements can only add detections), so each CEGIS round scans
+//    only the survivors.  The scan spreads items over a bounded ThreadPool;
+//    items are independent and the reduction runs in item order, so results
+//    are identical for every thread count.
+//  * Checkpointed minimization (phase C): with record_checkpoints the engine
+//    snapshots every item's lane blocks at each element boundary (cheap
+//    plain-data copies).  A "drop element i / drop op j" trial restores the
+//    checkpoint before the edit and replays only the suffix
+//    (trial_covers()), bailing out at the first surviving undetected
+//    instance; an accepted edit re-syncs via rewind().  Items that were
+//    fully detected strictly before the edit point are skipped outright:
+//    their detection only depends on the unchanged prefix.
+//
+// Exactness: advance()/rewind()/trial_covers() reproduce the packed full-run
+// verdicts (sim/packed_engine.hpp packed_run) bit for bit.  Fully detected
+// blocks are frozen (not advanced further) exactly like the full runner;
+// their stale cell values are unobservable because detection is sticky.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "march/march_test.hpp"
+#include "sim/fault_instance.hpp"
+#include "sim/packed_engine.hpp"
+
+namespace mtg {
+
+class ThreadPool;  // common/parallel.hpp
+
+class PrefixEngine {
+ public:
+  /// "Not detected (yet)" marker for element indices.
+  static constexpr std::size_t kNever = ~std::size_t{0};
+
+  struct Options {
+    /// Require detection under both power-on contents (all-0 and all-1).
+    bool both_power_on_states = true;
+    /// Record per-element lane snapshots (required by trial_covers/rewind).
+    bool record_checkpoints = false;
+    /// Cap on ⇕ elements (the scenario set is P·2^count lanes).
+    std::size_t max_any_order_elements = 10;
+  };
+
+  /// Work counters, cumulative since construction (or reset_stats()).
+  struct Stats {
+    /// March elements replayed, counted per (instance, element) — the unit
+    /// the minimizer's trial-cost guarantee is stated in: a from-scratch
+    /// rescan of t trials costs ~ t × items × elements replays, a
+    /// checkpointed trial only the replayed suffix of the surviving items.
+    std::size_t element_replays = 0;
+    /// Scenario-lane block expansions performed for ⇕ elements.
+    std::size_t lane_expansions = 0;
+    /// trial_covers() calls.
+    std::size_t trials = 0;
+  };
+
+  /// Builds the engine owning `instances`, simulated to the end of `prefix`.
+  /// Every instance must fit the packed representation
+  /// (PackedFaultSim::supports) and address an `n`-cell memory.  `pool`
+  /// spreads construction over worker threads when non-null (the result is
+  /// identical for every thread count).
+  PrefixEngine(std::size_t memory_size, std::vector<FaultInstance> instances,
+               const MarchTest& prefix, Options options,
+               ThreadPool* pool = nullptr);
+
+  /// As above, borrowing `instances` (must outlive the engine).
+  PrefixEngine(std::size_t memory_size,
+               const std::vector<FaultInstance>* instances,
+               const MarchTest& prefix, Options options,
+               ThreadPool* pool = nullptr);
+
+  // -- Prefix bookkeeping ----------------------------------------------------
+
+  /// The march-test prefix the lane state corresponds to.  commit() appends
+  /// greedy candidates to the state *without* extending this recorded prefix
+  /// (the greedy ⇕-as-⇑ reading is an approximation, see the file comment);
+  /// once commit() has been called the exact entry points below refuse to
+  /// run.
+  const MarchTest& prefix() const noexcept { return prefix_; }
+
+  // -- Greedy interface (phase A and CEGIS extension rounds) -----------------
+
+  std::size_t undetected_instances() const;
+
+  /// Fault-list indices of the instances still undetected.
+  std::set<std::size_t> undetected_fault_indices() const;
+
+  /// Marks every instance of the given faults as out of scope (uncoverable).
+  /// Excluded faults stay dropped across advance()/rewind().
+  void exclude_faults(const std::set<std::size_t>& fault_indices);
+
+  /// Number of undetected (instance, scenario) pairs.
+  std::size_t undetected_scenarios() const;
+
+  /// Gain of appending the candidate: the number of (instance, scenario)
+  /// pairs it newly detects.  Scenario granularity matters: an element can
+  /// make progress on one power-on polarity only (the complementary
+  /// polarity being handled by a later element), which instance-level
+  /// counting would miss and stall on.  ⇕ candidates are evaluated in their
+  /// ⇑ reading (as the scalar engine did); certification re-resolves ⇕
+  /// orders exactly.
+  ///
+  /// `remaining_start` is undetected_scenarios() — hoisted to the caller
+  /// because it is identical for every candidate of a gain scan and O(items)
+  /// to recompute.  `abort_below(g, remaining)` lets the caller prune
+  /// hopeless candidates: it receives the gain so far and the number of
+  /// unscanned scenarios and returns true to abandon the evaluation (the
+  /// result is then a lower bound).
+  template <typename AbortFn>
+  std::size_t gain(const MarchElement& candidate, const ElementTrace& trace,
+                   std::size_t remaining_start, AbortFn abort_below) const {
+    const std::uint64_t down =
+        candidate.order() == AddressOrder::Down ? ~std::uint64_t{0} : 0;
+    std::size_t g = 0;
+    std::size_t remaining = remaining_start;
+    for (const Item& item : items_) {
+      if (item.done) continue;
+      for (const PackedFaultSim::Lanes& block : item.blocks) {
+        const std::size_t undetected =
+            lane_popcount(block.active & ~block.detected);
+        if (undetected == 0) continue;
+        remaining -= undetected * item.weight;
+        PackedFaultSim::Lanes trial = block;  // plain-data copy
+        const std::size_t newly = lane_popcount(
+            item.sim.run_element(trial, candidate, trace, down));
+        g += newly * item.weight;
+        // Match the scalar engine's abort placement: only after a failure.
+        // A candidate that detects everything must return its exact gain,
+        // or it could lose the score-tie g tie-break it deserves to win.
+        if (newly < undetected && abort_below(g, remaining)) return g;
+      }
+    }
+    return g;
+  }
+
+  /// Appends the candidate to the tracked lane state in the greedy reading
+  /// (⇕ runs ⇑).  Marks the engine approximate: the recorded prefix no
+  /// longer matches the lane state exactly, so advance()/rewind()/
+  /// trial_covers() refuse to run afterwards.
+  void commit(const MarchElement& candidate, const ElementTrace& trace);
+
+  // -- Incremental certification (phase B) -----------------------------------
+
+  /// Syncs the lane state to `test`.  The fast path is the CEGIS shape —
+  /// `test` extends the recorded prefix and only the appended suffix is
+  /// replayed (with exact ⇕ expansion).  When `test` diverges from the
+  /// recorded prefix (the minimizer removed elements or operations), items
+  /// are restored from the checkpoint at the longest common prefix and the
+  /// remainder is replayed; this requires record_checkpoints.  Items fully
+  /// detected within the common prefix stay dropped: their detection
+  /// replays unchanged.  `pool` spreads items over worker threads; results
+  /// are identical for every thread count.
+  void advance(const MarchTest& test, ThreadPool* pool = nullptr);
+
+  /// Clones the still-undetected (and non-excluded) items into a scratch
+  /// engine for a greedy extension round, sharing this engine's instances
+  /// (the clone must not outlive the parent).  The clone starts exact at
+  /// the recorded prefix but does not record checkpoints.
+  PrefixEngine clone_undetected() const;
+
+  /// Instances dropped because every scenario detected (excluded faults not
+  /// counted).
+  std::size_t dropped_instances() const;
+
+  /// Tracked instances (collapsed duplicates counted at their weight — this
+  /// equals the size of the instance set the engine was built from).
+  std::size_t num_instances() const;
+
+  /// Simulated representatives after collapsing equal-signature layout
+  /// instances (the engine's actual per-element workload).
+  std::size_t num_representatives() const noexcept { return items_.size(); }
+
+  // -- Checkpointed trials (phase C) -----------------------------------------
+
+  /// True iff every tracked (non-excluded) instance is detected in every
+  /// scenario by the trial test
+  ///
+  ///     prefix()[0, edit) + (replacement ? *replacement : nothing)
+  ///                       + prefix()[edit + 1, ...)
+  ///
+  /// i.e. element `edit` is dropped (replacement == nullptr) or swapped for
+  /// `replacement` (the minimizer's drop-op-j trials).  Restores each item's
+  /// checkpoint at `edit` and replays only the suffix, skipping items that
+  /// were fully detected strictly before `edit` and bailing out at the
+  /// first surviving undetected instance.  Requires record_checkpoints and
+  /// an exact engine; the tracked state is left untouched.
+  bool trial_covers(std::size_t edit, const MarchElement* replacement);
+
+  const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  struct Item {
+    const FaultInstance* instance = nullptr;
+    PackedFaultSim sim;  ///< the instance compiled to involved-cell slots
+    /// Number of collapsed layout instances this item stands for: instances
+    /// of one fault whose packed signatures match (equal relative layout
+    /// order) have bit-identical lane evolutions, so one representative is
+    /// simulated and every count is weighted — sums over items equal the
+    /// sums the uncollapsed instance set would produce, term for term.
+    std::size_t weight = 1;
+    std::vector<PackedFaultSim::Lanes> blocks;  ///< scenario lane state
+    bool done = false;      ///< dropped: detected everywhere, or excluded
+    bool excluded = false;  ///< dropped as uncoverable (never revisited)
+    /// Element index whose replay completed detection, kNever otherwise.
+    std::size_t detected_at = kNever;
+    /// checkpoints[e] = `blocks` before element e (recorded while the item
+    /// was live), in the scenario layout of prefix elements [0, e).
+    std::vector<std::vector<PackedFaultSim::Lanes>> checkpoints;
+  };
+
+  /// One element of a replay plan: the element, its compiled trace, and its
+  /// ⇕ ordinal (-1 for fixed orders) in the plan's scenario numbering.
+  struct Step {
+    const MarchElement* element = nullptr;
+    const ElementTrace* trace = nullptr;
+    int ordinal = -1;
+  };
+
+  static bool all_detected(const std::vector<PackedFaultSim::Lanes>& blocks);
+
+  std::size_t power_states() const noexcept {
+    return options_.both_power_on_states ? 2 : 1;
+  }
+
+  /// Duplicates every scenario of `blocks` into its ⇑/⇓ reading of a new ⇕
+  /// element (ordinal = log2(old combos relative)), i.e. grows the scenario
+  /// set from P·combos to P·2·combos lanes while preserving the power-on
+  /// major, ⇕-mask minor numbering.
+  void expand_blocks(std::vector<PackedFaultSim::Lanes>& blocks,
+                     std::size_t old_combos) const;
+
+  /// Replays `steps[0, count)` over `blocks` (layout entry: `combos` ⇕
+  /// combinations), expanding at ⇕ steps and freezing fully detected
+  /// blocks.  Returns the step offset whose replay completed detection, or
+  /// kNever.  With `checkpoints` non-null, snapshots `blocks` before every
+  /// step.  `local` accumulates work counters (merged into stats_ by the
+  /// caller — run_steps runs on worker threads).
+  std::size_t run_steps(
+      const Item& item, std::vector<PackedFaultSim::Lanes>& blocks,
+      std::size_t& combos, const Step* steps, std::size_t count,
+      std::vector<std::vector<PackedFaultSim::Lanes>>* checkpoints,
+      Stats& local) const;
+
+  /// Clone/internal constructor: prefix bookkeeping filled by the caller.
+  PrefixEngine(std::size_t memory_size, Options options);
+
+  /// Builds items and simulates them to the end of `prefix`.
+  void initialize(const std::vector<FaultInstance>& instances,
+                  const MarchTest& prefix, ThreadPool* pool);
+
+  /// Appends bookkeeping (trace, ordinal) for the elements of test[from..].
+  void append_plan(const MarchTest& test, std::size_t from);
+
+  /// Shared advance/rewind core: re-syncs every live item from element
+  /// `common` (restoring checkpoints when the item's state is past it) and
+  /// replays the recorded plan's tail, in parallel over items.
+  /// `previous_length` is the element count of the prefix before the sync.
+  void sync_items(std::size_t common, std::size_t previous_length,
+                  ThreadPool* pool);
+
+  std::size_t memory_size_ = 0;
+  Options options_;
+  bool approximate_ = false;  ///< a commit() happened; exact APIs refuse
+
+  MarchTest prefix_;
+  std::vector<ElementTrace> traces_;  ///< per prefix element
+  std::vector<int> ordinals_;         ///< per prefix element: ⇕ ordinal or -1
+  std::vector<std::size_t> any_before_;  ///< #⇕ in elements [0, e), e ≤ size
+
+  std::vector<FaultInstance> owned_;  ///< backing store (owning constructor)
+  std::vector<Item> items_;
+  Stats stats_;
+};
+
+}  // namespace mtg

@@ -1,0 +1,190 @@
+// Locks the incremental generator pipeline (persistent certification state,
+// fault dropping, checkpointed minimization) byte-identical to the
+// from-scratch implementation it replaced:
+//
+//  * Golden tests: the generated march test for every built-in fault list,
+//    captured from the pre-incremental implementation (the sequential
+//    certification loop re-simulating every instance per CEGIS round and
+//    the detects_all-per-trial minimizer).  Any divergence — however the
+//    engine is refactored — fails here first.
+//  * Thread invariance: gain_threads × certify_threads sweeps produce the
+//    same test as the single-threaded run.
+//  * Minimizer differential: minimize_test (checkpointed) equals
+//    minimize_test_rescan (the retained from-scratch reference) on padded
+//    and catalog tests.
+#include "gen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fp/fault_list.hpp"
+#include "gen/minimizer.hpp"
+#include "march/catalog.hpp"
+#include "march/parser.hpp"
+
+namespace mtg {
+namespace {
+
+FaultList list_by_name(const std::string& name) {
+  if (name == "list1") return fault_list_1();
+  if (name == "list2") return fault_list_2();
+  if (name == "simple") return standard_simple_static_faults();
+  return retention_fault_list();
+}
+
+struct Golden {
+  const char* list;
+  const char* test;  ///< ascii to_string of the pre-incremental generator
+};
+
+TEST(IncrementalGenerator, DefaultOptionsMatchPreIncrementalGoldens) {
+  // Captured from the from-scratch implementation (commit 2634ec0) with
+  // default GeneratorOptions.
+  const Golden goldens[] = {
+      {"list2", "{c(w0); ^(r0); ^(r0); ^(w1,r1); ^(r1); ^(w1,r1)}"},
+      {"simple",
+       "{c(w0); ^(r0,w1,r1); ^(r1,w0,r0); v(r0,w1,w1,r1); "
+       "v(r1,w1,r1,w0,w0,r0); v(r0,w0,r0,w1); ^(r1)}"},
+      {"retention", "{c(w0); ^(w1,t); ^(t,r1,w0); ^(t,r0,w1); ^(w0,t,r0)}"},
+      {"list1",
+       "{c(w0); ^(r0,w1,r1); ^(r1,w0,r0); ^(r0); v(r0,w1,w1,r1); "
+       "v(r1,w1,r1,w0); ^(r0); ^(w0); ^(r0,w0,r0,r0,w1); ^(r1,w0,w0,w1); "
+       "^(r1); v(r1,w0,r0,w1); ^(r1)}"},
+  };
+  for (const Golden& golden : goldens) {
+    const GenerationResult result =
+        generate_march_test(list_by_name(golden.list));
+    EXPECT_EQ(result.test.to_string(/*ascii=*/true), golden.test)
+        << golden.list;
+    EXPECT_TRUE(result.full_coverage) << golden.list;
+    EXPECT_GT(result.stats.instances_dropped, 0u) << golden.list;
+  }
+}
+
+TEST(IncrementalGenerator, VariantOptionsMatchPreIncrementalGoldens) {
+  // working=2 exercises a deliberately weak phase A; no-minimize skips the
+  // checkpointed rewind; single power-on state halves the scenario space.
+  GeneratorOptions weak;
+  weak.working_memory_size = 2;
+  weak.certify_memory_size = 6;
+  weak.minimize_memory_size = 4;
+  weak.max_element_length = 5;
+  const GenerationResult weak_simple =
+      generate_march_test(list_by_name("simple"), weak);
+  EXPECT_EQ(weak_simple.test.to_string(true),
+            "{^(w0); v(r0,w1,w1,r1); v(r1,w0,w0,r0); ^(r0,w1,w1,r1); "
+            "^(r1,w0,w0,r0); ^(r0)}");
+
+  GeneratorOptions no_minimize;
+  no_minimize.minimize = false;
+  const GenerationResult raw =
+      generate_march_test(list_by_name("simple"), no_minimize);
+  EXPECT_EQ(raw.test.to_string(true),
+            "{c(w0); ^(r0); ^(r0,w1,r1); ^(r1); ^(r1,w0,r0); ^(r0); "
+            "v(r0,w1,w1,r1); ^(r1); v(r1,w1,r1,w0,w0,r0); ^(r0); "
+            "v(r0,w0,r0,w1); ^(r1)}");
+
+  GeneratorOptions single;
+  single.both_power_on_states = false;
+  const GenerationResult sp =
+      generate_march_test(list_by_name("list2"), single);
+  EXPECT_EQ(sp.test.to_string(true),
+            "{c(w0); ^(r0); ^(r0); ^(w1,r1); ^(r1); ^(w0,r0)}");
+}
+
+TEST(IncrementalGenerator, ThreadCountsDoNotChangeTheTest) {
+  // gain_threads parallelizes the greedy candidate scan, certify_threads
+  // the persistent certification engine's item sync; both must keep the
+  // generated test byte-identical (per-worker pruning only abandons losing
+  // candidates, and certification items are independent with in-order
+  // reductions).
+  for (const char* name : {"list2", "simple", "retention"}) {
+    const FaultList list = list_by_name(name);
+    GeneratorOptions sequential;
+    sequential.gain_threads = 1;
+    sequential.certify_threads = 1;
+    const GenerationResult reference = generate_march_test(list, sequential);
+    const std::size_t pairs[][2] = {{2, 2}, {0, 0}, {1, 0}, {0, 1}};
+    for (const auto& pair : pairs) {
+      GeneratorOptions options;
+      options.gain_threads = pair[0];
+      options.certify_threads = pair[1];
+      const GenerationResult result = generate_march_test(list, options);
+      EXPECT_EQ(reference.test, result.test)
+          << name << " gain_threads=" << pair[0]
+          << " certify_threads=" << pair[1];
+      EXPECT_EQ(reference.stats.greedy_rounds, result.stats.greedy_rounds);
+      EXPECT_EQ(reference.stats.certify_iterations,
+                result.stats.certify_iterations);
+    }
+  }
+  // The big list once, hardware-threaded against the golden (which the
+  // single-threaded default-options test above already pins).
+  GeneratorOptions hw;
+  hw.gain_threads = 0;
+  hw.certify_threads = 0;
+  const GenerationResult list1 =
+      generate_march_test(list_by_name("list1"), hw);
+  EXPECT_EQ(list1.test.to_string(true),
+            "{c(w0); ^(r0,w1,r1); ^(r1,w0,r0); ^(r0); v(r0,w1,w1,r1); "
+            "v(r1,w1,r1,w0); ^(r0); ^(w0); ^(r0,w0,r0,r0,w1); "
+            "^(r1,w0,w0,w1); ^(r1); v(r1,w0,r0,w1); ^(r1)}");
+}
+
+TEST(IncrementalMinimizer, MatchesFromScratchRescanReference) {
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  const FaultList list = fault_list_2();
+  const auto instances = instantiate_all(list, 4);
+  const MarchTest padded = parse_march_test(
+      "{c(w0); c(w0,r0,r0,w1); c(w1,r1,r1,w0); c(r0,w1); c(r1,w0)}", "padded");
+  for (const MarchTest& test :
+       {padded, march_abl1(), march_lf1(), march_ss(), march_g()}) {
+    std::vector<std::string> log_inc, log_ref;
+    const MarchTest incremental =
+        minimize_test(simulator, test, instances, &log_inc);
+    const MarchTest reference =
+        minimize_test_rescan(simulator, test, instances, &log_ref);
+    EXPECT_EQ(incremental, reference) << test.name();
+    EXPECT_EQ(log_inc, log_ref) << test.name();
+  }
+}
+
+TEST(IncrementalMinimizer, ScalarSimulatorFallsBackToRescan) {
+  SimulatorOptions options;
+  options.memory_size = 4;
+  options.use_packed_engine = false;
+  const FaultSimulator scalar(options);
+  const auto instances = instantiate_all(fault_list_2(), 4);
+  MinimizeStats stats;
+  const MarchTest minimized =
+      minimize_test(scalar, march_abl1(), instances, nullptr, &stats);
+  EXPECT_GT(stats.full_rescans, 0u);
+  const FaultSimulator packed(SimulatorOptions{4, true, 10});
+  EXPECT_EQ(minimized, minimize_test(packed, march_abl1(), instances));
+}
+
+TEST(IncrementalMinimizer, TrialsNeverFullRescanOnThePackedPath) {
+  // The acceptance property: the minimizer no longer answers trials with a
+  // full-test detects_all pass — every trial replays only the suffix after
+  // its edit (the precise per-trial bound is locked at engine level in
+  // tests/sim/test_prefix_sim.cpp).
+  const FaultSimulator simulator(SimulatorOptions{4, true, 10});
+  const auto instances = instantiate_all(fault_list_2(), 4);
+  const MarchTest padded = parse_march_test(
+      "{c(w0); c(w0,r0,r0,w1); c(w1,r1,r1,w0); c(r0,w1); c(r1,w0)}", "padded");
+  MinimizeStats stats;
+  const MarchTest minimized =
+      minimize_test(simulator, padded, instances, nullptr, &stats);
+  EXPECT_EQ(stats.full_rescans, 0u);
+  EXPECT_GT(stats.trials, 0u);
+  EXPECT_GT(stats.element_replays, 0u);
+  // A from-scratch rescan costs ~ trials × instances × elements replays;
+  // the checkpointed path must come in well under that.
+  EXPECT_LT(stats.element_replays,
+            stats.trials * instances.size() * padded.elements().size() / 2);
+  EXPECT_LT(minimized.complexity(), padded.complexity());
+}
+
+}  // namespace
+}  // namespace mtg

@@ -24,6 +24,7 @@
 #include "fp/fp_library.hpp"
 #include "march/march_test.hpp"
 #include "sim/fault_instance.hpp"
+#include "sim/prefix_sim.hpp"
 #include "sim/simulator.hpp"
 
 namespace mtg {
@@ -266,5 +267,96 @@ TEST(DifferentialFuzz, PackedMatchesScalarVerdictsAndDiagnostics) {
   }
 }
 
+TEST(DifferentialFuzz, PrefixEngineCheckpointRestoreMatchesSimulator) {
+  // Fuzzes the incremental prefix engine's checkpoint/restore machinery
+  // mid-test: for each random (test, instance) case the engine's verdict
+  // after construction, after a drop-element / drop-op trial, after
+  // accepting the edit (checkpoint rewind + suffix replay) and after
+  // rewinding back to the original test must all match the from-scratch
+  // simulator.  Random tests freely mix ⇕ elements, so the scenario-lane
+  // expansion and trial ordinal renumbering are exercised throughout.
+  const std::vector<FaultPrimitive> fps = all_fps();
+  std::vector<LinkedFault> linked = enumerate_single_cell_linked_faults();
+  {
+    std::vector<LinkedFault> retention = enumerate_retention_linked_faults();
+    linked.insert(linked.end(), retention.begin(), retention.end());
+    std::vector<LinkedFault> two = enumerate_two_cell_linked_faults();
+    linked.insert(linked.end(), two.begin(), two.end());
+  }
+
+  const std::uint64_t base_seed = env_u64("MTG_FUZZ_SEED", 0);
+  const bool replay_single = std::getenv("MTG_FUZZ_SEED") != nullptr;
+  const std::uint64_t cases =
+      replay_single ? 1 : env_u64("MTG_FUZZ_CASES", 1500) / 3;
+
+  std::size_t failures = 0;
+  const auto check = [&](bool ok, const FuzzCase& fuzz, std::uint64_t seed,
+                         const char* what) {
+    if (ok) return true;
+    ADD_FAILURE() << "prefix engine divergence (" << what << ")\n"
+                  << describe(fuzz, seed);
+    return ++failures < 3;
+  };
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    const std::uint64_t seed = replay_single ? base_seed : 0xC4ECu + i;
+    const FuzzCase fuzz = make_case(seed, fps, linked);
+    SimulatorOptions options;
+    options.memory_size = fuzz.memory_size;
+    options.both_power_on_states = fuzz.both_power_on_states;
+    const FaultSimulator simulator(options);
+    const std::vector<FaultInstance> one = {fuzz.instance};
+    PrefixEngine engine(
+        fuzz.memory_size, &one, fuzz.test,
+        PrefixEngine::Options{fuzz.both_power_on_states, true});
+
+    const bool detected = engine.undetected_instances() == 0;
+    if (!check(detected == simulator.detects(fuzz.test, fuzz.instance), fuzz,
+               seed, "construction verdict")) {
+      break;
+    }
+
+    Rng rng(seed ^ 0x5EEDull);
+    const std::size_t edit = rng.below(fuzz.test.elements().size());
+    MarchTest dropped = fuzz.test;
+    dropped.elements().erase(dropped.elements().begin() +
+                             static_cast<long>(edit));
+    const bool drop_expected =
+        dropped.empty() ? false : simulator.detects(dropped, fuzz.instance);
+    if (!check(engine.trial_covers(edit, nullptr) == drop_expected, fuzz,
+               seed, "drop-element trial")) {
+      break;
+    }
+
+    const MarchElement& element = fuzz.test.elements()[edit];
+    MarchTest edited = fuzz.test;
+    if (element.ops().size() > 1) {
+      std::vector<Op> ops = element.ops();
+      ops.erase(ops.begin() + static_cast<long>(rng.below(ops.size())));
+      const MarchElement replacement(element.order(), std::move(ops));
+      edited.elements()[edit] = replacement;
+      if (!check(engine.trial_covers(edit, &replacement) ==
+                     simulator.detects(edited, fuzz.instance),
+                 fuzz, seed, "drop-op trial")) {
+        break;
+      }
+    }
+
+    // Accept the op edit (a no-op advance when the element had one op),
+    // then rewind back to the original test.
+    engine.advance(edited);
+    if (!check((engine.undetected_instances() == 0) ==
+                   simulator.detects(edited, fuzz.instance),
+               fuzz, seed, "accepted-edit sync")) {
+      break;
+    }
+    engine.advance(fuzz.test);
+    if (!check((engine.undetected_instances() == 0) == detected, fuzz, seed,
+               "rewind to original")) {
+      break;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mtg
+

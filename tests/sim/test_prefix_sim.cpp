@@ -1,0 +1,306 @@
+// Differential tests of the incremental prefix engine (sim/prefix_sim.hpp)
+// against the from-scratch simulator: element-by-element advance, scenario
+// lane expansion at mid-test ⇕ elements, checkpointed trials and rewinds,
+// undetected-item cloning, weighted instance collapsing, and thread-count
+// invariance of the parallel sync.
+#include "sim/prefix_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "fp/fault_list.hpp"
+#include "march/catalog.hpp"
+#include "march/parser.hpp"
+#include "sim/simulator.hpp"
+
+namespace mtg {
+namespace {
+
+MarchTest prefix_of(const MarchTest& test, std::size_t length) {
+  return MarchTest(test.name() + "/prefix",
+                   std::vector<MarchElement>(test.elements().begin(),
+                                             test.elements().begin() +
+                                                 static_cast<long>(length)));
+}
+
+/// (undetected instance count, undetected fault indices) per the
+/// from-scratch simulator — the oracle the engine must reproduce.
+std::pair<std::size_t, std::set<std::size_t>> undetected_by_simulator(
+    const FaultSimulator& simulator, const MarchTest& test,
+    const std::vector<FaultInstance>& instances) {
+  std::size_t count = 0;
+  std::set<std::size_t> faults;
+  for (const FaultInstance& instance : instances) {
+    if (!simulator.detects(test, instance)) {
+      ++count;
+      faults.insert(instance.fault_index);
+    }
+  }
+  return {count, faults};
+}
+
+/// A test with ⇕ elements mid-test, so advance() must expand scenario lanes
+/// (each existing scenario splits into its ⇑ and ⇓ reading).
+MarchTest any_heavy_test() {
+  return parse_march_test(
+      "{c(w0); ^(r0,w1); c(r1,w0); v(r0,w1); c(r1,w0); ^(r0)}", "any-heavy");
+}
+
+TEST(PrefixSim, AdvanceMatchesFromScratchAfterEveryElement) {
+  const std::size_t n = 5;
+  const FaultSimulator simulator(SimulatorOptions{n, true, 10});
+  for (const MarchTest& test :
+       {march_abl1(), march_g(), any_heavy_test()}) {
+    for (const FaultList& list :
+         {fault_list_2(), retention_fault_list()}) {
+      const auto instances = instantiate_all(list, n);
+      PrefixEngine engine(n, &instances, prefix_of(test, 1),
+                          PrefixEngine::Options{true, false});
+      for (std::size_t len = 1; len <= test.elements().size(); ++len) {
+        const MarchTest prefix = prefix_of(test, len);
+        engine.advance(prefix);
+        const auto expected =
+            undetected_by_simulator(simulator, prefix, instances);
+        EXPECT_EQ(engine.undetected_instances(), expected.first)
+            << test.name() << " vs " << list.name << " at length " << len;
+        EXPECT_EQ(engine.undetected_fault_indices(), expected.second)
+            << test.name() << " vs " << list.name << " at length " << len;
+      }
+    }
+  }
+}
+
+TEST(PrefixSim, SinglePowerOnStateMatchesFromScratch) {
+  const std::size_t n = 4;
+  SimulatorOptions options;
+  options.memory_size = n;
+  options.both_power_on_states = false;
+  const FaultSimulator simulator(options);
+  const auto instances = instantiate_all(fault_list_2(), n);
+  const MarchTest test = any_heavy_test();
+  PrefixEngine engine(n, &instances, prefix_of(test, 1),
+                      PrefixEngine::Options{false, false});
+  for (std::size_t len = 1; len <= test.elements().size(); ++len) {
+    engine.advance(prefix_of(test, len));
+    EXPECT_EQ(
+        engine.undetected_instances(),
+        undetected_by_simulator(simulator, prefix_of(test, len), instances)
+            .first)
+        << "length " << len;
+  }
+}
+
+TEST(PrefixSim, TrialCoversMatchesFromScratchCoversAll) {
+  const std::size_t n = 4;
+  const FaultSimulator simulator(SimulatorOptions{n, true, 10});
+  for (const MarchTest& test : {march_abl1(), any_heavy_test()}) {
+    const auto instances = instantiate_all(fault_list_2(), n);
+    PrefixEngine engine(n, &instances, test,
+                        PrefixEngine::Options{true, true});
+
+    // Drop-element trials at every position.
+    for (std::size_t i = 0; i < test.elements().size(); ++i) {
+      MarchTest trial = test;
+      trial.elements().erase(trial.elements().begin() + static_cast<long>(i));
+      EXPECT_EQ(engine.trial_covers(i, nullptr),
+                simulator.detects_all(trial, instances))
+          << test.name() << " drop element " << i;
+    }
+
+    // Drop-op trials at every position.
+    for (std::size_t i = 0; i < test.elements().size(); ++i) {
+      const MarchElement& element = test.elements()[i];
+      if (element.ops().size() == 1) continue;
+      for (std::size_t j = 0; j < element.ops().size(); ++j) {
+        std::vector<Op> ops = element.ops();
+        ops.erase(ops.begin() + static_cast<long>(j));
+        const MarchElement replacement(element.order(), std::move(ops));
+        MarchTest trial = test;
+        trial.elements()[i] = replacement;
+        EXPECT_EQ(engine.trial_covers(i, &replacement),
+                  simulator.detects_all(trial, instances))
+            << test.name() << " drop op " << j << " of element " << i;
+      }
+    }
+  }
+}
+
+TEST(PrefixSim, RewindToEditedTestMatchesFromScratch) {
+  const std::size_t n = 4;
+  const FaultSimulator simulator(SimulatorOptions{n, true, 10});
+  const MarchTest test = any_heavy_test();
+  const auto instances = instantiate_all(fault_list_2(), n);
+  PrefixEngine engine(n, &instances, test, PrefixEngine::Options{true, true});
+
+  // Drop every element in turn (fresh engine state each time via rewind
+  // back to the full test), including the ⇕ ones — the scenario space
+  // shrinks and the tail's ⇕ ordinals shift down.
+  for (std::size_t i = 0; i < test.elements().size(); ++i) {
+    MarchTest edited = test;
+    edited.elements().erase(edited.elements().begin() + static_cast<long>(i));
+    engine.advance(edited);
+    const auto expected = undetected_by_simulator(simulator, edited, instances);
+    EXPECT_EQ(engine.undetected_instances(), expected.first) << "edit " << i;
+    EXPECT_EQ(engine.undetected_fault_indices(), expected.second)
+        << "edit " << i;
+    engine.advance(test);  // restore for the next round
+    EXPECT_EQ(engine.undetected_instances(),
+              undetected_by_simulator(simulator, test, instances).first);
+  }
+}
+
+TEST(PrefixSim, CloneUndetectedMatchesFreshEngineOverMissedInstances) {
+  const std::size_t n = 4;
+  const FaultSimulator simulator(SimulatorOptions{n, true, 10});
+  // A prefix that covers only part of the list, so some instances survive.
+  const MarchTest prefix =
+      parse_march_test("{c(w0); ^(r0,w1,r1)}", "partial");
+  const auto instances = instantiate_all(fault_list_2(), n);
+  PrefixEngine engine(n, &instances, prefix,
+                      PrefixEngine::Options{true, false});
+  ASSERT_GT(engine.undetected_instances(), 0u);
+
+  std::vector<FaultInstance> missed;
+  for (const FaultInstance& instance : instances) {
+    if (!simulator.detects(prefix, instance)) missed.push_back(instance);
+  }
+  ASSERT_EQ(engine.undetected_instances(), missed.size());
+
+  PrefixEngine fresh(n, std::move(missed), prefix,
+                     PrefixEngine::Options{true, false});
+  PrefixEngine clone = engine.clone_undetected();
+  EXPECT_EQ(clone.undetected_instances(), fresh.undetected_instances());
+  EXPECT_EQ(clone.undetected_scenarios(), fresh.undetected_scenarios());
+  EXPECT_EQ(clone.undetected_fault_indices(),
+            fresh.undetected_fault_indices());
+
+  // Candidate gains agree — the greedy extension sees the same scores
+  // whether it starts from a clone or from a from-scratch rebuild.
+  const auto no_abort = [](std::size_t, std::size_t) { return false; };
+  for (const char* notation : {"^(r0)", "v(r1)", "^(r0,w1,r1)", "v(r1,w0,r0)",
+                               "^(w1,r1)", "v(w0,r0)"}) {
+    const MarchTest one = parse_march_test(
+        std::string("{") + notation + "}", "candidate");
+    const MarchElement& candidate = one.elements()[0];
+    const ElementTrace trace = compile_element_trace(candidate);
+    const std::size_t remaining = clone.undetected_scenarios();
+    EXPECT_EQ(clone.gain(candidate, trace, remaining, no_abort),
+              fresh.gain(candidate, trace, remaining, no_abort))
+        << notation;
+  }
+
+  // Committing to the clone must not disturb the parent's exact state.
+  const MarchTest bridge = parse_march_test("{^(r0,w1)}", "bridge");
+  clone.commit(bridge.elements()[0],
+               compile_element_trace(bridge.elements()[0]));
+  EXPECT_EQ(engine.undetected_instances(),
+            undetected_by_simulator(simulator, prefix, instances).first);
+}
+
+TEST(PrefixSim, CollapsesEquivalentLayoutsExactly) {
+  const std::size_t n = 6;
+  const auto instances = instantiate_all(fault_list_2(), n);
+  const MarchTest test = march_abl1();
+  PrefixEngine engine(n, &instances, test, PrefixEngine::Options{true, false});
+  // Weighted totals see every instance; the simulated representatives are
+  // the distinct (fault, relative layout order) classes — far fewer.
+  EXPECT_EQ(engine.num_instances(), instances.size());
+  EXPECT_LT(engine.num_representatives(), instances.size() / 2);
+  // Weighted undetected counts equal the per-instance oracle.
+  const FaultSimulator simulator(SimulatorOptions{n, true, 10});
+  const MarchTest partial = prefix_of(test, 2);
+  PrefixEngine partial_engine(n, &instances, partial,
+                              PrefixEngine::Options{true, false});
+  EXPECT_EQ(partial_engine.undetected_instances(),
+            undetected_by_simulator(simulator, partial, instances).first);
+}
+
+TEST(PrefixSim, ParallelSyncMatchesSequential) {
+  const std::size_t n = 5;
+  const auto instances = instantiate_all(fault_list_2(), n);
+  const MarchTest test = any_heavy_test();
+  ThreadPool pool(3);
+
+  PrefixEngine sequential(n, &instances, prefix_of(test, 2),
+                          PrefixEngine::Options{true, true});
+  PrefixEngine parallel(n, &instances, prefix_of(test, 2),
+                        PrefixEngine::Options{true, true}, &pool);
+  EXPECT_EQ(sequential.undetected_instances(),
+            parallel.undetected_instances());
+
+  sequential.advance(test);
+  parallel.advance(test, &pool);
+  EXPECT_EQ(sequential.undetected_instances(), parallel.undetected_instances());
+  EXPECT_EQ(sequential.undetected_scenarios(), parallel.undetected_scenarios());
+  EXPECT_EQ(sequential.undetected_fault_indices(),
+            parallel.undetected_fault_indices());
+
+  // Trial verdicts agree after the parallel sync.
+  for (std::size_t i = 0; i < test.elements().size(); ++i) {
+    EXPECT_EQ(sequential.trial_covers(i, nullptr),
+              parallel.trial_covers(i, nullptr))
+        << "edit " << i;
+  }
+}
+
+TEST(PrefixSim, ExcludedFaultsStayDroppedAcrossSyncs) {
+  const std::size_t n = 4;
+  const auto instances = instantiate_all(fault_list_2(), n);
+  const MarchTest test = any_heavy_test();
+  PrefixEngine engine(n, &instances, prefix_of(test, 2),
+                      PrefixEngine::Options{true, true});
+  const std::set<std::size_t> excluded = {0, 1};
+  engine.exclude_faults(excluded);
+  engine.advance(test);
+  for (std::size_t fault : excluded) {
+    EXPECT_EQ(engine.undetected_fault_indices().count(fault), 0u);
+  }
+  // Rewind to a shorter test: excluded faults must not resurface.
+  engine.advance(prefix_of(test, 3));
+  for (std::size_t fault : excluded) {
+    EXPECT_EQ(engine.undetected_fault_indices().count(fault), 0u);
+  }
+}
+
+TEST(PrefixSim, CommitPoisonsExactness) {
+  const std::size_t n = 4;
+  const auto instances = instantiate_all(fault_list_2(), n);
+  const MarchTest test = march_abl1();
+  PrefixEngine engine(n, &instances, prefix_of(test, 2),
+                      PrefixEngine::Options{true, true});
+  const MarchElement candidate(AddressOrder::Up, {Op::R0});
+  engine.commit(candidate, compile_element_trace(candidate));
+  EXPECT_THROW(engine.advance(test), Error);
+  EXPECT_THROW(engine.trial_covers(0, nullptr), Error);
+  EXPECT_THROW(engine.clone_undetected(), Error);
+}
+
+TEST(PrefixSim, TrialCostIsProportionalToTheReplayedSuffix) {
+  // The minimizer acceptance property at engine level: a trial at the last
+  // element replays at most one element per live instance — not the whole
+  // test — and instances detected before the edit are skipped outright.
+  const std::size_t n = 4;
+  const auto instances = instantiate_all(fault_list_2(), n);
+  const MarchTest test = march_abl1();
+  PrefixEngine engine(n, &instances, test, PrefixEngine::Options{true, true});
+  const std::size_t last = test.elements().size() - 1;
+
+  engine.reset_stats();
+  engine.trial_covers(last, nullptr);
+  EXPECT_LE(engine.stats().element_replays, engine.num_representatives())
+      << "a last-element trial must replay at most the dropped element's "
+         "suffix (nothing) per live instance";
+
+  engine.reset_stats();
+  engine.trial_covers(last - 1, nullptr);
+  EXPECT_LE(engine.stats().element_replays, 2 * engine.num_representatives());
+}
+
+}  // namespace
+}  // namespace mtg
