@@ -4,15 +4,27 @@
 //
 // Usage: bench_coverage_matrix [memory_size]   (default n = 6)
 #include <cstdio>
-#include <cstdlib>
+#include <exception>
 
+#include "common/parse.hpp"
 #include "fp/fault_list.hpp"
 #include "march/catalog.hpp"
 #include "sim/coverage.hpp"
 
 int main(int argc, char** argv) {
   using namespace mtg;
-  const std::size_t n = argc > 1 ? std::atoi(argv[1]) : 6;
+  std::size_t n = 6;
+  if (argc > 1) {
+    // Validated parsing (common/parse.hpp): the old std::atoi silently
+    // turned garbage into n = 0 and simulated a zero-cell memory.
+    try {
+      n = parse_memory_size(argv[1], "memory size");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\nusage: bench_coverage_matrix [n >= 3]\n",
+                   e.what());
+      return 2;
+    }
+  }
   const FaultSimulator simulator(SimulatorOptions{n, true, 10});
 
   const FaultList list2 = fault_list_2();

@@ -1,0 +1,122 @@
+// Decoder-fault memory-size sweep: the workload whose coverage curve
+// genuinely depends on n (fp/decoder_fault.hpp) — a decoder fault on
+// address line `bit` exists only in memories with 2^bit < n, so the
+// coverable fraction of decoder_fault_list() grows with the memory size.
+// Sweeps March SL (the strongest published baseline) across the size list
+// and reports per-point coverage plus the wall time of the whole sweep.
+//
+// Usage: bench_decoder_sweep [--quick] [--json <path|->] [--cap <k>]
+//   --quick   reduced size list (CI smoke)
+//   --json    machine-readable per-point summary next to the ablation JSON
+//   --cap     per-fault instance cap (default 256; 0 = full enumeration)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/parse.hpp"
+#include "fp/fault_list.hpp"
+#include "march/catalog.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+void write_json(std::FILE* out, const mtg::MarchTest& test,
+                const mtg::FaultList& list, std::size_t cap, double elapsed_ms,
+                const std::vector<mtg::SweepPoint>& points) {
+  std::fprintf(out,
+               "{\n  \"test\": \"%s\", \"list\": \"%s\", \"cap\": %zu, "
+               "\"elapsed_ms\": %.3f,\n  \"points\": [\n",
+               test.name().c_str(), list.name.c_str(), cap, elapsed_ms);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const mtg::CoverageReport& r = points[i].report;
+    std::fprintf(out,
+                 "    {\"n\": %zu, \"faults_covered\": %zu, "
+                 "\"faults_total\": %zu, \"fault_coverage_percent\": %.2f, "
+                 "\"instances_detected\": %zu, \"instances_total\": %zu}%s\n",
+                 points[i].memory_size, r.faults_covered(), r.faults_total(),
+                 r.fault_coverage_percent(), r.instances_detected(),
+                 r.instances_total(), i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mtg;
+  const char* json_path = nullptr;
+  bool quick = false;
+  std::size_t cap = 256;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--cap") == 0 && i + 1 < argc) {
+      try {
+        cap = parse_count(argv[++i], "--cap");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_decoder_sweep [--quick] [--json <path|->] "
+                   "[--cap <k>]\n");
+      return 2;
+    }
+  }
+
+  const MarchTest test = march_sl();
+  const FaultList list = decoder_fault_list();
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{64, 256, 4096}
+            : std::vector<std::size_t>{64, 256, 1024, 4096, 65536};
+
+  SweepOptions options;
+  options.max_instances_per_fault = cap;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<SweepPoint> points =
+      sweep_coverage(test, list, sizes, options);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+
+  std::printf("%s vs %s (per-fault cap %zu), sweep wall time %.3f ms\n",
+              test.name().c_str(), list.name.c_str(), cap, elapsed_ms);
+  std::printf("%s", sweep_summary(points).c_str());
+
+  // The curve must not be flat: decoder faults are the n-dependent workload.
+  bool varies = false;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].report.fault_coverage_percent() !=
+        points[0].report.fault_coverage_percent()) {
+      varies = true;
+    }
+  }
+  if (!varies) {
+    std::fprintf(stderr,
+                 "error: decoder sweep coverage is flat across the sizes\n");
+    return 1;
+  }
+
+  if (json_path != nullptr) {
+    if (std::strcmp(json_path, "-") == 0) {
+      write_json(stdout, test, list, cap, elapsed_ms, points);
+    } else {
+      std::FILE* out = std::fopen(json_path, "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", json_path);
+        return 1;
+      }
+      write_json(out, test, list, cap, elapsed_ms, points);
+      std::fclose(out);
+      std::printf("JSON summary written to %s\n", json_path);
+    }
+  }
+  return 0;
+}

@@ -4,15 +4,16 @@
 //       list the published march tests with complexity
 //   mtg_cli lists
 //       show the built-in fault lists and their sizes
-//   mtg_cli generate <list1|list2|simple|retention> [--stats]
+//   mtg_cli generate <list1|list2|simple|retention|decoder> [--stats]
 //       generate a march test for a built-in fault list; --stats prints the
 //       per-phase timing breakdown and the generation lap log
-//   mtg_cli coverage "<march notation>" <list1|list2|simple|retention> [n]
+//   mtg_cli coverage "<march notation>" <list1|list2|simple|retention|decoder> [n]
 //       fault-simulate a march test (e.g. "{c(w0); ^(r0,w1); v(r1,w0)}")
 //   mtg_cli coverage "<march notation>" <list> --sweep 64,256,4096,65536
 //       memory-size sweep: coverage at every listed n, evaluated in
 //       parallel; per-fault layouts are capped (deterministically sampled)
-//       above --cap instances (default 4096, 0 = full enumeration)
+//       above --cap instances (default 4096, 0 = full enumeration).  The
+//       decoder list is the one whose curve varies with n.
 //   mtg_cli dot <g0|pgcf>
 //       print the Figure 2 / Figure 4 graph as GraphViz DOT
 #include <algorithm>
@@ -20,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "fp/fault_list.hpp"
 #include "gen/generator.hpp"
 #include "march/catalog.hpp"
@@ -37,8 +39,9 @@ FaultList list_by_name(const std::string& name) {
   if (name == "list2") return fault_list_2();
   if (name == "simple") return standard_simple_static_faults();
   if (name == "retention") return retention_fault_list();
+  if (name == "decoder") return decoder_fault_list();
   throw Error("unknown fault list '" + name +
-              "' (use list1, list2, simple or retention)");
+              "' (use list1, list2, simple, retention or decoder)");
 }
 
 int cmd_catalog() {
@@ -50,11 +53,12 @@ int cmd_catalog() {
 }
 
 int cmd_lists() {
-  for (const char* name : {"list1", "list2", "simple", "retention"}) {
+  for (const char* name : {"list1", "list2", "simple", "retention", "decoder"}) {
     const FaultList list = list_by_name(name);
     std::cout << name << ": " << list.name << " — " << list.size()
               << " faults (" << list.simple.size() << " simple, "
-              << list.linked.size() << " linked)\n";
+              << list.linked.size() << " linked, " << list.decoder.size()
+              << " decoder)\n";
   }
   return 0;
 }
@@ -90,48 +94,17 @@ int cmd_generate(const std::string& list_name, bool stats) {
   return result.full_coverage ? 0 : 1;
 }
 
-/// Parses a non-negative decimal count; rejects signs, spaces, suffixes and
-/// anything else std::stoul would silently accept or wrap ("-1" parses to
-/// 2^64-1 there).
-std::size_t parse_count(const std::string& text, const std::string& what) {
-  const bool all_digits =
-      !text.empty() && text.find_first_not_of("0123456789") == std::string::npos;
-  std::size_t value = 0;
-  if (all_digits) {
-    try {
-      value = std::stoul(text);
-    } catch (const std::exception&) {  // out of range
-      throw Error(what + ": number out of range '" + text + "'");
-    }
-  } else {
-    throw Error(what + ": bad number '" + text + "'");
-  }
-  return value;
-}
-
-/// Parses "64,256,4096" into sizes; rejects empty items and non-numbers.
-std::vector<std::size_t> parse_size_list(const std::string& text) {
-  std::vector<std::size_t> sizes;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t comma = text.find(',', start);
-    const std::string item =
-        text.substr(start, comma == std::string::npos ? comma : comma - start);
-    sizes.push_back(parse_count(item, "--sweep memory size"));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return sizes;
-}
-
 int cmd_sweep(const std::string& notation, const std::string& list_name,
               const std::string& size_list, std::size_t cap) {
   const MarchTest test = parse_march_test(notation, "cli test");
   const FaultList list = list_by_name(list_name);
   SweepOptions options;
   options.max_instances_per_fault = cap;
-  const std::vector<SweepPoint> points =
-      sweep_coverage(test, list, parse_size_list(size_list), options);
+  // parse_size_list (common/parse.hpp) keeps duplicates and unsorted sizes
+  // as given; sweep_coverage validates the n >= 3 minimum up front and
+  // throws a clean Error before any point evaluates.
+  const std::vector<SweepPoint> points = sweep_coverage(
+      test, list, parse_size_list(size_list, "--sweep memory size"), options);
   std::cout << test.to_string() << " vs " << list.name << " (per-fault cap "
             << cap << "):\n"
             << sweep_summary(points);
@@ -173,9 +146,10 @@ int usage() {
   std::cerr << "usage:\n"
             << "  mtg_cli catalog\n"
             << "  mtg_cli lists\n"
-            << "  mtg_cli generate <list1|list2|simple|retention> [--stats]\n"
+            << "  mtg_cli generate <list1|list2|simple|retention|decoder> "
+               "[--stats]\n"
             << "  mtg_cli coverage \"<march notation>\" "
-               "<list1|list2|simple|retention> [n]\n"
+               "<list1|list2|simple|retention|decoder> [n]\n"
             << "  mtg_cli coverage \"<march notation>\" <list> "
                "--sweep <n1,n2,...> [--cap <instances-per-fault>]\n"
             << "  mtg_cli dot <g0|pgcf>\n";
@@ -206,7 +180,7 @@ int main(int argc, char** argv) {
         return cmd_sweep(argv[2], argv[3], argv[5], cap);
       }
       const std::size_t n =
-          argc > 4 ? parse_count(argv[4], "memory size") : 6;
+          argc > 4 ? parse_memory_size(argv[4], "memory size") : 6;
       return cmd_coverage(argv[2], argv[3], n);
     }
     if (command == "dot" && argc > 2) return cmd_dot(argv[2]);

@@ -1,0 +1,44 @@
+#include "common/parse.hpp"
+
+#include "common/error.hpp"
+
+namespace mtg {
+
+std::size_t parse_count(const std::string& text, const std::string& what) {
+  const bool all_digits =
+      !text.empty() &&
+      text.find_first_not_of("0123456789") == std::string::npos;
+  if (!all_digits) throw Error(what + ": bad number '" + text + "'");
+  try {
+    return std::stoul(text);
+  } catch (const std::exception&) {  // out of range
+    throw Error(what + ": number out of range '" + text + "'");
+  }
+}
+
+std::size_t parse_memory_size(const std::string& text,
+                              const std::string& what) {
+  const std::size_t n = parse_count(text, what);
+  if (n < 3) {
+    throw Error(what + ": a simulated memory needs at least 3 cells, got '" +
+                text + "'");
+  }
+  return n;
+}
+
+std::vector<std::size_t> parse_size_list(const std::string& text,
+                                         const std::string& what) {
+  std::vector<std::size_t> sizes;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    sizes.push_back(parse_count(item, what));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return sizes;
+}
+
+}  // namespace mtg

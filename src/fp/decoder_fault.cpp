@@ -1,0 +1,52 @@
+#include "fp/decoder_fault.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mtg {
+
+std::string to_string(DecoderFaultClass cls) {
+  switch (cls) {
+    case DecoderFaultClass::NoAccess:
+      return "AFna";
+    case DecoderFaultClass::WrongCell:
+      return "AFwc";
+    case DecoderFaultClass::MultipleCells:
+      return "AFmc";
+    case DecoderFaultClass::MultipleAddresses:
+      return "AFma";
+  }
+  return "AF?";
+}
+
+std::string DecoderFault::name() const {
+  std::string out = to_string(cls);
+  if (cls == DecoderFaultClass::MultipleCells) {
+    out += wired == Bit::One ? "-or" : "-and";
+  }
+  out += "@b" + std::to_string(bit);
+  return out;
+}
+
+BoundDecoder::BoundDecoder(DecoderFault f, std::size_t a, std::size_t v)
+    : fault(f), a_cell(a), v_cell(v) {
+  require(fault.bit < 63, "decoder fault: address bit out of range");
+  if (fault.cls == DecoderFaultClass::NoAccess) {
+    require(a_cell == v_cell,
+            "a NoAccess decoder fault involves only the corrupted address");
+  } else {
+    require(v_cell == (a_cell ^ (std::size_t{1} << fault.bit)),
+            "decoder fault: partner cell must differ from the corrupted "
+            "address exactly in the broken bit");
+  }
+}
+
+std::string BoundDecoder::to_string() const {
+  std::ostringstream out;
+  out << fault.name() << " a=" << a_cell;
+  if (two_cell()) out << " v=" << v_cell;
+  return out.str();
+}
+
+}  // namespace mtg

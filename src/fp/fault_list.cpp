@@ -188,4 +188,25 @@ FaultList retention_fault_list() {
   return list;
 }
 
+FaultList decoder_fault_list(std::size_t max_address_bits) {
+  require(max_address_bits >= 1 && max_address_bits < 63,
+          "decoder_fault_list: address bit count out of range");
+  FaultList list;
+  list.name = "Address-decoder faults (" + std::to_string(max_address_bits) +
+              " address lines)";
+  for (std::size_t bit = 0; bit < max_address_bits; ++bit) {
+    list.decoder.push_back(
+        DecoderFault{DecoderFaultClass::NoAccess, bit, Bit::Zero});
+    list.decoder.push_back(
+        DecoderFault{DecoderFaultClass::WrongCell, bit, Bit::Zero});
+    list.decoder.push_back(
+        DecoderFault{DecoderFaultClass::MultipleCells, bit, Bit::Zero});
+    list.decoder.push_back(
+        DecoderFault{DecoderFaultClass::MultipleCells, bit, Bit::One});
+    list.decoder.push_back(
+        DecoderFault{DecoderFaultClass::MultipleAddresses, bit, Bit::Zero});
+  }
+  return list;
+}
+
 }  // namespace mtg

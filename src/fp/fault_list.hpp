@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fp/decoder_fault.hpp"
 #include "fp/fault_primitive.hpp"
 #include "fp/linked_fault.hpp"
 
@@ -39,13 +40,16 @@ struct SimpleFault {
   static SimpleFault coupled(FaultPrimitive fp, bool aggressor_below);
 };
 
-/// A named list of target faults (simple and/or linked).
+/// A named list of target faults (simple, linked and/or address-decoder).
 struct FaultList {
   std::string name;
   std::vector<SimpleFault> simple;
   std::vector<LinkedFault> linked;
+  std::vector<DecoderFault> decoder;
 
-  std::size_t size() const noexcept { return simple.size() + linked.size(); }
+  std::size_t size() const noexcept {
+    return simple.size() + linked.size() + decoder.size();
+  }
 };
 
 /// FP1 candidates: FPs whose sensitization does not expose them on the spot.
@@ -91,5 +95,13 @@ FaultList standard_simple_static_faults();
 /// plus the retention linked faults.  Only tests containing `t` ops can
 /// cover this list.
 FaultList retention_fault_list();
+
+/// Address-decoder faults (fp/decoder_fault.hpp): the four classical decoder
+/// fault classes — no access, wrong cell, multiple cells (wired-AND and
+/// wired-OR) and multiple addresses — on every address line
+/// bit ∈ [0, max_address_bits).  A fault on line `bit` has instances only in
+/// memories with 2^bit < n, so coverage of this list genuinely varies with
+/// the simulated memory size (the default 12 lines span n up to 4096).
+FaultList decoder_fault_list(std::size_t max_address_bits = 12);
 
 }  // namespace mtg

@@ -29,11 +29,22 @@ std::string BoundFp::to_string() const {
   return out.str();
 }
 
-FaultyMemory::FaultyMemory(std::size_t num_cells, std::vector<BoundFp> faults)
-    : state_(num_cells), faults_(std::move(faults)) {
+FaultyMemory::FaultyMemory(std::size_t num_cells, std::vector<BoundFp> faults,
+                           std::vector<BoundDecoder> decoders)
+    : state_(num_cells),
+      faults_(std::move(faults)),
+      decoders_(std::move(decoders)) {
   for (const BoundFp& bound : faults_) {
     require(bound.v_cell < num_cells && bound.a_cell < num_cells,
             "bound fault addresses exceed the memory size");
+  }
+  require(decoders_.size() <= 1,
+          "at most one decoder fault per faulty machine");
+  require(decoders_.empty() || faults_.empty(),
+          "decoder faults do not combine with fault primitives");
+  for (const BoundDecoder& bound : decoders_) {
+    require(bound.a_cell < num_cells && bound.v_cell < num_cells,
+            "bound decoder fault addresses exceed the memory size");
   }
   armed_.assign(faults_.size(), true);
   fire_counts_.assign(faults_.size(), 0);
@@ -57,14 +68,63 @@ void FaultyMemory::power_on_uniform(Bit value) {
 }
 
 void FaultyMemory::write(std::size_t address, Bit value) {
+  if (!decoders_.empty() && address == decoders_[0].a_cell) {
+    // The corrupted address: the write selects cells per the decoder class
+    // (no FPs are bound alongside a decoder fault, so the plain state
+    // mutation is the entire effect).
+    const BoundDecoder& dec = decoders_[0];
+    switch (dec.fault.cls) {
+      case DecoderFaultClass::NoAccess:
+        break;  // no cell selected — the write is dropped
+      case DecoderFaultClass::WrongCell:
+      case DecoderFaultClass::MultipleAddresses:
+        state_.set(dec.v_cell, value);  // redirected to the partner cell
+        break;
+      case DecoderFaultClass::MultipleCells:
+        state_.set(dec.a_cell, value);
+        state_.set(dec.v_cell, value);
+        break;
+    }
+    return;
+  }
   apply(OpTarget::Write, address, value);
 }
 
 Bit FaultyMemory::read(std::size_t address) {
+  if (!decoders_.empty() && address == decoders_[0].a_cell) {
+    const BoundDecoder& dec = decoders_[0];
+    switch (dec.fault.cls) {
+      case DecoderFaultClass::NoAccess:
+        // Floating data line: the read-back couples to the broken address
+        // line's driver (address-dependent — see fp/decoder_fault.hpp).
+        return dec.no_access_read_back();
+      case DecoderFaultClass::WrongCell:
+        return state_.get(dec.v_cell);
+      case DecoderFaultClass::MultipleCells:
+        // Two cells fight on the data line: wired-OR or wired-AND.
+        if (dec.fault.wired == Bit::One) {
+          return (state_.get(dec.a_cell) == Bit::One ||
+                  state_.get(dec.v_cell) == Bit::One)
+                     ? Bit::One
+                     : Bit::Zero;
+        }
+        return (state_.get(dec.a_cell) == Bit::One &&
+                state_.get(dec.v_cell) == Bit::One)
+                   ? Bit::One
+                   : Bit::Zero;
+      case DecoderFaultClass::MultipleAddresses:
+        // Only the write path is corrupted: the read returns the (stale,
+        // never-written) own cell.
+        return state_.get(dec.a_cell);
+    }
+  }
   return apply(OpTarget::Read, address, Bit::Zero);
 }
 
 void FaultyMemory::wait(std::size_t address) {
+  // A wait at the corrupted address is inert: retention decay is a
+  // cell-level FP effect and decoder instances carry no FPs.
+  if (!decoders_.empty() && address == decoders_[0].a_cell) return;
   apply(OpTarget::Wait, address, Bit::Zero);
 }
 

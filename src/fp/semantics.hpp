@@ -29,6 +29,13 @@
 //    from oscillating forever.
 //  * power_on(state) models test start: the memory content is forced and
 //    state faults settle once.
+//  * Address-decoder faults (fp/decoder_fault.hpp) corrupt the *addressing*
+//    instead of the cell behaviour: operations addressed at the bound
+//    decoder fault's corrupted address are dropped, redirected or fanned out
+//    per its class before they reach any cell.  A faulty machine carries
+//    either fault primitives or (at most one) decoder fault, never both —
+//    the decoder deviation is in the select path, and combining it with
+//    cell-level FPs in one instance is out of scope.
 #pragma once
 
 #include <cstddef>
@@ -36,6 +43,7 @@
 #include <vector>
 
 #include "common/state.hpp"
+#include "fp/decoder_fault.hpp"
 #include "fp/fault_primitive.hpp"
 
 namespace mtg {
@@ -62,10 +70,16 @@ class FaultyMemory {
   explicit FaultyMemory(std::size_t num_cells)
       : FaultyMemory(num_cells, {}) {}
 
-  FaultyMemory(std::size_t num_cells, std::vector<BoundFp> faults);
+  /// `decoders` holds at most one bound decoder fault, and only when
+  /// `faults` is empty (see the class comment).
+  FaultyMemory(std::size_t num_cells, std::vector<BoundFp> faults,
+               std::vector<BoundDecoder> decoders = {});
 
   std::size_t num_cells() const noexcept { return state_.size(); }
   const std::vector<BoundFp>& faults() const noexcept { return faults_; }
+  const std::vector<BoundDecoder>& decoder_faults() const noexcept {
+    return decoders_;
+  }
 
   /// Forces the memory content (power-on / test start), re-arms every state
   /// fault and lets state faults settle once on the initial content.
@@ -122,6 +136,7 @@ class FaultyMemory {
 
   MemoryState state_;
   std::vector<BoundFp> faults_;
+  std::vector<BoundDecoder> decoders_;  // at most one; excludes faults_
   std::vector<bool> armed_;             // state faults only (true = may fire)
   std::vector<std::size_t> fire_counts_;
   std::size_t total_fires_ = 0;

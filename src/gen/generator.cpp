@@ -221,14 +221,29 @@ GenerationResult generate_march_test(const FaultList& list,
   // permanently: march tests grow append-only within the CEGIS loop and
   // detection is sticky, so a dropped instance can never escape again.
   std::vector<FaultInstance> cert_instances;
+  std::vector<std::uint8_t> instantiable(fault_count(list), 0);
   for (FaultInstance& instance : instantiate_all(
            list, options.certify_memory_size,
            options.max_instances_per_fault)) {
     ++stats.certify_instances;
+    instantiable[instance.fault_index] = 1;
     // Faults phase A already reported uncoverable are out of scope — skip
     // them before paying their full-prefix simulation.
     if (uncoverable.count(instance.fault_index) == 0) {
       cert_instances.push_back(std::move(instance));
+    }
+  }
+  // Faults with no instance at the certify size cannot be certified there
+  // at all (e.g. a decoder fault on an address line the certify memory does
+  // not have, 2^bit >= n): report them out of scope instead of letting the
+  // final coverage report silently fail on them.
+  for (std::size_t f = 0; f < instantiable.size(); ++f) {
+    if (instantiable[f] == 0 && uncoverable.count(f) == 0) {
+      uncoverable.insert(f);
+      stats.log.push_back(
+          "fault '" + fault_name(list, f) + "' has no instances at n=" +
+          std::to_string(options.certify_memory_size) +
+          "; out of certification scope");
     }
   }
   PrefixEngine cert_engine(

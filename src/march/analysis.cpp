@@ -24,6 +24,8 @@ std::string MarchProfile::to_string() const {
   flag("⇑ sensitizing read (a<v CF observation)", up_sensitizing_read);
   flag("⇓ sensitizing read (v<a CF observation)", down_sensitizing_read);
   flag("observed retention wait (DRF)", retention_observed);
+  flag("⇑ read then complement write (AF)", up_read_complement_write);
+  flag("⇓ read then complement write (AF)", down_read_complement_write);
   return out.str();
 }
 
@@ -49,6 +51,19 @@ MarchProfile analyze(const MarchTest& test) {
 
   for (const MarchElement& element : test.elements()) {
     bool wrote_in_element = false;
+    bool read_in_element[2] = {false, false};  // value d read so far
+    const auto note_complement_write = [&](Bit written) {
+      // Reading d and later writing d̄ within one element — the classical
+      // address-decoder detection structure, credited per sweep direction.
+      const int d = to_int(flip(written));
+      if (!read_in_element[d]) return;
+      if (element.order() != AddressOrder::Down) {
+        profile.up_read_complement_write[d] = true;
+      }
+      if (element.order() != AddressOrder::Up) {
+        profile.down_read_complement_write[d] = true;
+      }
+    };
     for (const Op op : element.ops()) {
       if (is_wait(op)) {
         ++profile.waits;
@@ -60,6 +75,7 @@ MarchProfile analyze(const MarchTest& test) {
       if (is_write(op)) {
         ++profile.writes;
         const Bit d = written_value(op);
+        note_complement_write(d);
         if (value.has_value()) {
           if (*value == d) {
             pending_wdf = d;
@@ -82,6 +98,11 @@ MarchProfile analyze(const MarchTest& test) {
       if (expected.has_value()) {
         const int d = to_int(*expected);
         profile.reads_value[d] = true;
+        // Only reads *before* any write of the element observe the state
+        // the previous element left at other addresses — a read after an
+        // intra-element write senses that write back and cannot
+        // distinguish address pairs.
+        if (!wrote_in_element) read_in_element[d] = true;
         if (pending_tf.has_value() && *pending_tf == *expected) {
           // Reading back a transition write exposes TF toward that value.
           profile.transition_write_observed[d] = true;
@@ -161,6 +182,28 @@ std::vector<std::string> retention_gaps(const MarchTest& test) {
     if (!profile.retention_observed[d]) {
       gaps.push_back(std::string("no observed wait while holding ") +
                      polarity + ": DRF" + polarity + " escapes");
+    }
+  }
+  return gaps;
+}
+
+std::vector<std::string> decoder_gaps(const MarchTest& test) {
+  const MarchProfile profile = analyze(test);
+  std::vector<std::string> gaps;
+  for (int d = 0; d < 2; ++d) {
+    const char polarity = d == 0 ? '0' : '1';
+    const char complement = d == 0 ? '1' : '0';
+    if (!profile.up_read_complement_write[d]) {
+      gaps.push_back(std::string("no ⇑ element reading ") + polarity +
+                     " then writing " + complement +
+                     ": decoder faults on address pairs swept low-to-high "
+                     "can escape");
+    }
+    if (!profile.down_read_complement_write[d]) {
+      gaps.push_back(std::string("no ⇓ element reading ") + polarity +
+                     " then writing " + complement +
+                     ": decoder faults on address pairs swept high-to-low "
+                     "can escape");
     }
   }
   return gaps;

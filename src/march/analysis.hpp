@@ -35,6 +35,15 @@ struct MarchProfile {
   bool up_sensitizing_read[2] = {false, false};   ///< ⇑ element reads d before writes
   bool down_sensitizing_read[2] = {false, false}; ///< ⇓ element reads d before writes
   bool retention_observed[2] = {false, false};    ///< t while holding d ... r d (DRF)
+  /// The classical address-decoder detection structure: an element reading
+  /// value d *before any of its writes* and later writing d̄, per sweep
+  /// direction.  Only the pre-write read observes the state the previous
+  /// element left at other addresses (a read after an intra-element write
+  /// senses that write back), so this is the shape that distinguishes
+  /// address pairs regardless of order — what decoder faults
+  /// (AFwc/AFmc/AFma) need; ⇕ elements count for both directions.
+  bool up_read_complement_write[2] = {false, false};    ///< ⇑: r d ... w d̄
+  bool down_read_complement_write[2] = {false, false};  ///< ⇓: r d ... w d̄
 
   std::string to_string() const;
 };
@@ -58,5 +67,13 @@ std::vector<std::string> structural_gaps(const MarchTest& test);
 /// because the classic static-fault tests (March SS/SL/...) intentionally
 /// contain no waits.
 std::vector<std::string> retention_gaps(const MarchTest& test);
+
+/// Address-decoder capability gaps: the (direction, polarity) combinations
+/// for which the test has no element reading d and later writing d̄ in that
+/// sweep direction — the structure decoder faults need in both directions
+/// (MarchProfile::up/down_read_complement_write).  Kept separate from
+/// structural_gaps for the same reason as retention_gaps: many classic
+/// tests intentionally do not target decoder faults.
+std::vector<std::string> decoder_gaps(const MarchTest& test);
 
 }  // namespace mtg

@@ -28,14 +28,16 @@ std::size_t CoverageReport::instances_detected() const {
 }
 
 double CoverageReport::fault_coverage_percent() const {
-  if (entries.empty()) return 100.0;
+  // An empty fault list covers nothing: report 0, not the vacuous 100 the
+  // plain ratio convention used to produce (summary() carries the flag).
+  if (entries.empty()) return 0.0;
   return 100.0 * static_cast<double>(faults_covered()) /
          static_cast<double>(faults_total());
 }
 
 double CoverageReport::instance_coverage_percent() const {
   const std::size_t total = instances_total();
-  if (total == 0) return 100.0;
+  if (total == 0) return 0.0;
   return 100.0 * static_cast<double>(instances_detected()) /
          static_cast<double>(total);
 }
@@ -50,6 +52,11 @@ std::vector<std::string> CoverageReport::missed_faults() const {
 
 std::string CoverageReport::summary() const {
   std::ostringstream out;
+  if (empty()) {
+    out << test_name << " (" << test_complexity << "n) vs " << list_name
+        << ": empty fault list — nothing to cover (coverage reported as 0%)";
+    return out.str();
+  }
   out << test_name << " (" << test_complexity << "n) vs " << list_name << ": "
       << faults_covered() << "/" << faults_total() << " faults covered ("
       << std::fixed << std::setprecision(2) << fault_coverage_percent()

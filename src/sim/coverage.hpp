@@ -31,11 +31,19 @@ struct CoverageReport {
   std::size_t faults_covered() const;
   std::size_t instances_total() const;
   std::size_t instances_detected() const;
-  bool full_coverage() const { return faults_covered() == faults_total(); }
 
-  /// Fault coverage in percent, at fault granularity.
+  /// True when the report covers no faults at all — an empty fault list.
+  /// Coverage of nothing is reported as 0% and not-full (not the vacuous
+  /// 100%/full a plain ratio would claim); summary() flags it explicitly.
+  bool empty() const noexcept { return entries.empty(); }
+  bool full_coverage() const {
+    return !empty() && faults_covered() == faults_total();
+  }
+
+  /// Fault coverage in percent, at fault granularity (0 for an empty list).
   double fault_coverage_percent() const;
-  /// Fault coverage in percent, at instance granularity.
+  /// Fault coverage in percent, at instance granularity (0 with no
+  /// instances).
   double instance_coverage_percent() const;
 
   /// Names of uncovered faults.

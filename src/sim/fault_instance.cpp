@@ -170,6 +170,49 @@ std::vector<FaultInstance> instantiate(const LinkedFault& fault, std::size_t n,
   return result;
 }
 
+std::vector<FaultInstance> instantiate(const DecoderFault& fault,
+                                       std::size_t n, std::size_t fault_index,
+                                       std::size_t max_instances) {
+  std::vector<FaultInstance> result;
+  // The broken address line must exist in an n-cell memory; a fault on a
+  // line the memory does not have simply has no instances there.
+  if (fault.bit >= 63 || (std::size_t{1} << fault.bit) >= n) return result;
+  const std::size_t partner_bit = std::size_t{1} << fault.bit;
+  const bool two_cell = fault.cls != DecoderFaultClass::NoAccess;
+  const auto valid = [&](std::size_t a) {
+    return !two_cell || (a ^ partner_bit) < n;
+  };
+
+  std::size_t count = 0;
+  for (std::size_t a = 0; a < n; ++a) count += valid(a) ? 1 : 0;
+  if (count == 0) return result;
+
+  // Deterministic evenly-spaced sample over the valid addresses (first and
+  // last always included), mirroring the layout-sampling contract of the
+  // FP instantiations: identical across runs and thread counts.
+  const std::size_t keep =
+      max_instances == 0 ? count : std::min(count, max_instances);
+  std::vector<std::size_t> targets;
+  targets.reserve(keep);
+  for (std::size_t j = 0; j < keep; ++j) {
+    targets.push_back(keep == 1 ? 0 : j * (count - 1) / (keep - 1));
+  }
+
+  std::size_t ordinal = 0, next = 0;
+  for (std::size_t a = 0; a < n && next < targets.size(); ++a) {
+    if (!valid(a)) continue;
+    if (ordinal++ != targets[next]) continue;
+    ++next;
+    const std::size_t v = two_cell ? (a ^ partner_bit) : a;
+    FaultInstance inst;
+    inst.fault_index = fault_index;
+    inst.decoders.push_back(BoundDecoder(fault, a, v));
+    inst.description = fault.name() + " @ " + inst.decoders[0].to_string();
+    result.push_back(std::move(inst));
+  }
+  return result;
+}
+
 std::vector<FaultInstance> instantiate_all(const FaultList& list,
                                            std::size_t n,
                                            std::size_t max_instances_per_fault) {
@@ -183,17 +226,23 @@ std::vector<FaultInstance> instantiate_all(const FaultList& list,
     auto instances = instantiate(f, n, index++, max_instances_per_fault);
     result.insert(result.end(), instances.begin(), instances.end());
   }
+  for (const DecoderFault& f : list.decoder) {
+    auto instances = instantiate(f, n, index++, max_instances_per_fault);
+    result.insert(result.end(), instances.begin(), instances.end());
+  }
   return result;
 }
 
 std::size_t fault_count(const FaultList& list) {
-  return list.simple.size() + list.linked.size();
+  return list.simple.size() + list.linked.size() + list.decoder.size();
 }
 
 std::string fault_name(const FaultList& list, std::size_t index) {
   require(index < fault_count(list), "fault index out of range");
   if (index < list.simple.size()) return list.simple[index].name;
-  return list.linked[index - list.simple.size()].name();
+  index -= list.simple.size();
+  if (index < list.linked.size()) return list.linked[index].name();
+  return list.decoder[index - list.linked.size()].name();
 }
 
 }  // namespace mtg

@@ -17,13 +17,23 @@
 
 namespace mtg {
 
-/// A concrete fault: one or two FPs bound to addresses of the simulated
-/// memory.  `fault_index` identifies the originating entry of the fault
-/// list (simple faults first, then linked faults).
+/// A concrete fault: one or two FPs — or one bound decoder fault — bound to
+/// addresses of the simulated memory.  `fault_index` identifies the
+/// originating entry of the fault list (simple faults first, then linked,
+/// then decoder faults).
 struct FaultInstance {
   std::vector<BoundFp> fps;
+  /// At most one bound decoder fault; mutually exclusive with `fps`
+  /// (fp/decoder_fault.hpp — the deviation is in the addressing).
+  std::vector<BoundDecoder> decoders;
   std::size_t fault_index = 0;
   std::string description;
+
+  /// True when simulating the instance never reads absolute cell addresses
+  /// — the precondition of the prefix engine's signature-based instance
+  /// collapsing (PackedFaultSim::signature()).  Decoder faults read
+  /// addresses by construction.
+  bool address_free() const noexcept { return decoders.empty(); }
 };
 
 /// Instances of a simple fault on an `n`-cell memory.  `max_instances`
@@ -44,9 +54,21 @@ std::vector<FaultInstance> instantiate(const LinkedFault& fault, std::size_t n,
                                        std::size_t fault_index,
                                        std::size_t max_instances = 0);
 
+/// Instances of a decoder fault on an `n`-cell memory: one per corrupted
+/// address a < n whose partner a XOR 2^bit also fits (every a for NoAccess).
+/// Returns no instances — not an error — when the memory has no address
+/// line `bit` (2^bit >= n): the fault cannot exist there, and
+/// evaluate_coverage reports it uncovered at that size.  Above
+/// `max_instances` the enumeration keeps a deterministic evenly-spaced
+/// sample that always includes the lowest and highest valid addresses.
+std::vector<FaultInstance> instantiate(const DecoderFault& fault,
+                                       std::size_t n, std::size_t fault_index,
+                                       std::size_t max_instances = 0);
+
 /// Instances of every fault in the list; fault_index follows the list order
-/// (all simple faults, then all linked faults).  `max_instances_per_fault`
-/// applies the per-fault bound described at instantiate().
+/// (all simple faults, then all linked faults, then all decoder faults).
+/// `max_instances_per_fault` applies the per-fault bound described at
+/// instantiate().
 std::vector<FaultInstance> instantiate_all(
     const FaultList& list, std::size_t n,
     std::size_t max_instances_per_fault = 0);

@@ -1,6 +1,7 @@
 #include "sim/packed_engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/error.hpp"
 
@@ -114,11 +115,37 @@ void require_addresses_fit(const FaultInstance& instance, std::size_t n) {
     require(bound.v_cell < n && bound.a_cell < n,
             "bound fault addresses exceed the memory size");
   }
+  for (const BoundDecoder& bound : instance.decoders) {
+    require(bound.a_cell < n && bound.v_cell < n,
+            "bound decoder fault addresses exceed the memory size");
+  }
 }
 
 PackedFaultSim::PackedFaultSim(const FaultInstance& instance) {
   require(supports(instance),
-          "fault instance has too many bound FPs for the packed engine");
+          "fault instance does not fit the packed engine (too many bound "
+          "FPs, or a decoder fault combined with FPs)");
+  if (!instance.decoders.empty()) {
+    // An address-decoder instance: keep the *absolute* involved addresses
+    // (the behaviour is address-aware — see the file comment); slots stay
+    // address-ascending like the FP path.
+    const BoundDecoder& dec = instance.decoders[0];
+    has_decoder_ = true;
+    decoder_cls_ = dec.fault.cls;
+    cells_[num_slots_++] = std::min(dec.a_cell, dec.v_cell);
+    if (dec.v_cell != dec.a_cell) {
+      cells_[num_slots_++] = std::max(dec.a_cell, dec.v_cell);
+    }
+    decoder_a_slot_ =
+        static_cast<std::uint8_t>(cells_[0] == dec.a_cell ? 0 : 1);
+    decoder_v_slot_ =
+        static_cast<std::uint8_t>(cells_[0] == dec.v_cell ? 0 : 1);
+    decoder_read_one_ =
+        dec.fault.cls == DecoderFaultClass::NoAccess
+            ? dec.no_access_read_back() == Bit::One
+            : dec.fault.wired == Bit::One;
+    return;
+  }
   // Collect the involved cells, address-ascending, deduplicated.
   std::array<std::size_t, kMaxSlots> addresses{};
   std::size_t count = 0;
@@ -159,6 +186,14 @@ PackedFaultSim::PackedFaultSim(const FaultInstance& instance) {
 }
 
 std::string PackedFaultSim::signature() const {
+  // Collapsing-soundness gate: an address-reading machine has no
+  // address-free signature (see the header comment).  The assert backs the
+  // runtime check in assert-enabled builds.
+  assert(address_free() &&
+         "signature() called on an address-reading fault instance");
+  require(address_free(),
+          "PackedFaultSim::signature(): address-decoder instances read "
+          "absolute addresses and must not be signature-collapsed");
   std::string out;
   out.reserve(2 + num_fps_ * 5);
   out.push_back(static_cast<char>(num_slots_));
@@ -245,9 +280,75 @@ void PackedFaultSim::power_on(Lanes& lanes, std::uint64_t active,
   rearm_state_faults(lanes, active);
 }
 
+void PackedFaultSim::apply_decoder_op(Lanes& lanes, Op op, std::size_t slot,
+                                      std::uint64_t group,
+                                      std::uint64_t expected) const {
+  // Decoder instances carry no FPs: every deviation is a rerouting of the
+  // operation itself, mirroring the scalar FaultyMemory decoder branches.
+  const bool read = is_read(op);
+  std::uint64_t out = lanes.val[slot];
+  if (slot == decoder_a_slot_) {
+    const std::uint64_t a_val = lanes.val[decoder_a_slot_];
+    const std::uint64_t v_val = lanes.val[decoder_v_slot_];
+    switch (decoder_cls_) {
+      case DecoderFaultClass::NoAccess:
+        // Writes and waits select no cell; reads sense the address-coupled
+        // floating line (a constant per instance, not per lane).
+        out = decoder_read_one_ ? ~std::uint64_t{0} : 0;
+        break;
+      case DecoderFaultClass::WrongCell:
+        out = v_val;
+        if (is_write(op)) {
+          if (op == Op::W1) {
+            lanes.val[decoder_v_slot_] |= group;
+          } else {
+            lanes.val[decoder_v_slot_] &= ~group;
+          }
+        }
+        break;
+      case DecoderFaultClass::MultipleCells:
+        out = decoder_read_one_ ? (a_val | v_val) : (a_val & v_val);
+        if (is_write(op)) {
+          if (op == Op::W1) {
+            lanes.val[decoder_a_slot_] |= group;
+            lanes.val[decoder_v_slot_] |= group;
+          } else {
+            lanes.val[decoder_a_slot_] &= ~group;
+            lanes.val[decoder_v_slot_] &= ~group;
+          }
+        }
+        break;
+      case DecoderFaultClass::MultipleAddresses:
+        out = a_val;  // the read path is intact; only writes are redirected
+        if (is_write(op)) {
+          if (op == Op::W1) {
+            lanes.val[decoder_v_slot_] |= group;
+          } else {
+            lanes.val[decoder_v_slot_] &= ~group;
+          }
+        }
+        break;
+    }
+  } else {
+    // The partner cell's own address decodes normally.
+    if (is_write(op)) {
+      if (op == Op::W1) {
+        lanes.val[slot] |= group;
+      } else {
+        lanes.val[slot] &= ~group;
+      }
+    }
+  }
+  if (read) lanes.detected |= group & (out ^ expected);
+}
+
 void PackedFaultSim::apply_op(Lanes& lanes, Op op, std::size_t slot,
                               std::uint64_t group,
                               std::uint64_t expected) const {
+  if (has_decoder_) {
+    apply_decoder_op(lanes, op, slot, group, expected);
+    return;
+  }
   const bool read = is_read(op);
 
   // 1. Sensitization on the pre-op state (scalar op_matches).  The op kind

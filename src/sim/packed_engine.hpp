@@ -63,6 +63,15 @@
 //     order of involved-cell visits in every lane.  Operations on the
 //     uninvolved cells *between* them are skipped per (2).
 //
+// Address-decoder instances (fp/decoder_fault.hpp) are cell-collapsed the
+// same way — every deviation they introduce is confined to the corrupted
+// address and its partner, so (1)–(3) go through verbatim — but unlike FP
+// instances their behaviour is *address-aware*: the compiled machine keeps
+// the absolute involved addresses (e.g. the AF-na read-back is a bit of the
+// corrupted address), not just their relative order.  That is why
+// signature(), the prefix engine's instance-collapsing key, refuses them:
+// see address_free().
+//
 // -- Shared good-machine trace ----------------------------------------------
 //
 // March elements apply the same operation sequence to every cell, so the
@@ -167,9 +176,11 @@ class PackedFaultSim {
 
   /// True when the instance fits the packed representation (every instance
   /// the fault library instantiates does; callers fall back to the scalar
-  /// machine otherwise).
+  /// machine otherwise).  Decoder instances are supported when they respect
+  /// the one-decoder-no-FPs shape FaultyMemory enforces.
   static bool supports(const FaultInstance& instance) noexcept {
-    return instance.fps.size() <= kMaxFps;
+    return instance.fps.size() <= kMaxFps && instance.decoders.size() <= 1 &&
+           (instance.decoders.empty() || instance.fps.empty());
   }
 
   /// Fault-free machine (no fault primitives, no involved cells).
@@ -182,17 +193,29 @@ class PackedFaultSim {
   /// Memory address of involved cell `slot` (slots are address-ascending).
   std::size_t slot_address(std::size_t slot) const { return cells_[slot]; }
 
+  /// True when the compiled machine never reads absolute cell addresses —
+  /// its lane evolution depends only on the relative (slot) order of the
+  /// involved cells.  All FP instances qualify; decoder instances do not
+  /// (their semantics are defined on address bits).  This is the enforced
+  /// precondition of signature() and of the prefix engine's instance
+  /// collapsing.
+  bool address_free() const noexcept { return !has_decoder_; }
+
   /// Canonical byte string of the compiled fault structure — the slot count
   /// and every lowered FP field — *excluding* the involved-cell addresses.
-  /// The simulation itself never reads the addresses (power_on/run_element
-  /// touch cells only through their dense slot indices, and slots are
-  /// address-ascending), so two instances with equal signatures have
-  /// bit-identical lane evolutions against every test: the layout only
-  /// contributes its relative order, which the slot numbering captures.
-  /// The prefix engine (sim/prefix_sim.hpp) collapses equal-signature
-  /// instances of a fault into one weighted item.  Any future fault model
-  /// whose packed semantics read absolute addresses (e.g. address-decoder
-  /// faults) must extend this signature alongside Fp.
+  /// For address-free instances the simulation never reads the addresses
+  /// (power_on/run_element touch cells only through their dense slot
+  /// indices, and slots are address-ascending), so two instances with equal
+  /// signatures have bit-identical lane evolutions against every test: the
+  /// layout only contributes its relative order, which the slot numbering
+  /// captures.  The prefix engine (sim/prefix_sim.hpp) collapses
+  /// equal-signature instances of a fault into one weighted item.
+  ///
+  /// Throws (and asserts) unless address_free(): an address-reading
+  /// instance — today, any decoder fault — has no address-free signature,
+  /// and collapsing two of them with equal structure but different
+  /// addresses would silently produce wrong weighted counts (e.g. two AF-na
+  /// instances whose read-back bits differ).
   std::string signature() const;
 
   /// Per-block lane state; plain data, copyable (the greedy engine's trial
@@ -249,11 +272,23 @@ class PackedFaultSim {
                            std::array<std::uint64_t, kMaxFps>& fired) const;
   void rearm_state_faults(Lanes& lanes, std::uint64_t group) const;
 
+  /// Decoder-op dispatch of apply_op (has_decoder_ machines only).
+  void apply_decoder_op(Lanes& lanes, Op op, std::size_t slot,
+                        std::uint64_t group, std::uint64_t expected) const;
+
   std::array<std::size_t, kMaxSlots> cells_{};  ///< involved addresses, asc
   std::size_t num_slots_ = 0;
   std::array<Fp, kMaxFps> fps_{};
   std::size_t num_fps_ = 0;
   bool has_state_fault_ = false;
+
+  // -- Address-decoder instance (mutually exclusive with fps_) ----------
+  bool has_decoder_ = false;
+  DecoderFaultClass decoder_cls_ = DecoderFaultClass::NoAccess;
+  std::uint8_t decoder_a_slot_ = 0;  ///< slot of the corrupted address
+  std::uint8_t decoder_v_slot_ = 0;  ///< slot of the partner cell
+  /// NoAccess: the address-coupled read-back bit; MultipleCells: wired-OR.
+  bool decoder_read_one_ = false;
 };
 
 // -- Full-test runner --------------------------------------------------------

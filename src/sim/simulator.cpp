@@ -94,7 +94,7 @@ std::optional<DetectionEvent> FaultSimulator::run_scenario(
     const MarchTest& test, const FaultInstance& instance, Bit power_on,
     std::size_t any_order_mask) const {
   const std::size_t n = options_.memory_size;
-  FaultyMemory faulty(n, instance.fps);
+  FaultyMemory faulty(n, instance.fps, instance.decoders);
   faulty.power_on_uniform(power_on);
   MemoryState good(n, power_on);
 

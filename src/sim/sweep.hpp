@@ -10,12 +10,16 @@
 // worker, and results land in size-list order, so the sweep output is
 // byte-identical for every thread count.
 //
-// This is the groundwork the ROADMAP names for address-decoder-style fault
-// layouts: coverage of the fault models shipped today depends only on the
-// relative order of the involved cells (march elements treat cells
-// uniformly), so a sweep over n is flat for them — address-decoder faults,
-// whose sensitization depends on address bits, are what will make the curve
-// move.
+// Whether the curve moves with n depends on the fault list.  Pure cell-array
+// (FP) faults are order-only — march elements treat cells uniformly, so
+// their detection depends only on the relative order of the involved cells
+// and the sweep is provably flat over n.  Address-decoder faults
+// (fp/decoder_fault.hpp, decoder_fault_list()) are what bend it: a fault on
+// address line `bit` exists only in memories with 2^bit < n, so the
+// instantiable — and coverable — fraction of the list grows with the memory
+// size, and the per-point instance counts track the address space.  See
+// tests/sim/test_decoder.cpp (SweepCurveVariesWithN) and
+// bench_decoder_sweep.
 #pragma once
 
 #include <cstddef>

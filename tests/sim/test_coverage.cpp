@@ -82,14 +82,21 @@ TEST(Coverage, RejectsInvalidTests) {
   EXPECT_THROW(evaluate_coverage(simulator, invalid, small_list()), Error);
 }
 
-TEST(Coverage, EmptyListIsVacuouslyCovered) {
+TEST(Coverage, EmptyListReportsZeroNotVacuousFull) {
+  // The divide-by-empty convention used to claim 100% coverage / full
+  // coverage for an *empty* fault list; an empty report now says so
+  // explicitly and reports 0%.
   const FaultSimulator simulator(SimulatorOptions{4, true, 10});
   FaultList empty;
   empty.name = "empty";
   const CoverageReport report =
       evaluate_coverage(simulator, mats_plus(), empty);
-  EXPECT_TRUE(report.full_coverage());
-  EXPECT_DOUBLE_EQ(report.fault_coverage_percent(), 100.0);
+  EXPECT_TRUE(report.empty());
+  EXPECT_FALSE(report.full_coverage());
+  EXPECT_DOUBLE_EQ(report.fault_coverage_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(report.instance_coverage_percent(), 0.0);
+  EXPECT_NE(report.summary().find("empty fault list"), std::string::npos)
+      << report.summary();
 }
 
 void expect_same_report(const CoverageReport& a, const CoverageReport& b,

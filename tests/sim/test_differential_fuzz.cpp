@@ -3,10 +3,10 @@
 //
 // Each case draws a seeded random march test (random orders including ⇕,
 // random operations including waits) and a random fault instance (random
-// FP bindings over the full static + retention FP space, or a random
-// instance of a real linked fault), then asserts that the packed engine and
-// the scalar oracle agree on the verdict *and* the diagnostics (first
-// detection event, first escaping scenario).
+// FP bindings over the full static + retention FP space, a random instance
+// of a real linked fault, or a random address-decoder fault), then asserts
+// that the packed engine and the scalar oracle agree on the verdict *and*
+// the diagnostics (first detection event, first escaping scenario).
 //
 // Reproducibility: every case derives from a single 64-bit seed printed on
 // failure.  Replay one case with MTG_FUZZ_SEED=<seed>; change the case count
@@ -111,6 +111,36 @@ FaultInstance random_linked_instance(Rng& rng, std::size_t n,
   return instances[rng.below(instances.size())];
 }
 
+/// Random address-decoder instance (fp/decoder_fault.hpp): any class, any
+/// address line the memory has, any valid corrupted address — the packed
+/// engine's address-aware path must match the scalar decoder branches.
+FaultInstance random_decoder_instance(Rng& rng, std::size_t n) {
+  std::size_t lines = 0;
+  while ((std::size_t{1} << lines) < n) ++lines;
+  DecoderFault fault;
+  fault.bit = rng.below(lines);
+  static const DecoderFaultClass kClasses[] = {
+      DecoderFaultClass::NoAccess, DecoderFaultClass::WrongCell,
+      DecoderFaultClass::MultipleCells, DecoderFaultClass::MultipleAddresses};
+  fault.cls = kClasses[rng.below(4)];
+  fault.wired = rng.coin() ? Bit::One : Bit::Zero;
+  const std::size_t partner_bit = std::size_t{1} << fault.bit;
+  std::size_t a = rng.below(n);
+  if (fault.cls != DecoderFaultClass::NoAccess) {
+    // Both the corrupted address and its partner must fit the memory.
+    for (int tries = 0; tries < 16 && (a ^ partner_bit) >= n; ++tries) {
+      a = rng.below(n);
+    }
+    if ((a ^ partner_bit) >= n) a = 0;  // 0's partner is 2^bit < n
+  }
+  const std::size_t v =
+      fault.cls == DecoderFaultClass::NoAccess ? a : a ^ partner_bit;
+  FaultInstance instance;
+  instance.decoders.push_back(BoundDecoder(fault, a, v));
+  instance.description = instance.decoders[0].to_string();
+  return instance;
+}
+
 FuzzCase make_case(std::uint64_t seed, const std::vector<FaultPrimitive>& fps,
                    const std::vector<LinkedFault>& linked) {
   Rng rng(seed);
@@ -129,9 +159,15 @@ FuzzCase make_case(std::uint64_t seed, const std::vector<FaultPrimitive>& fps,
   }
   fuzz.both_power_on_states = rng.coin();
   fuzz.test = random_march_test(rng);
-  fuzz.instance = rng.coin()
-                      ? random_binding(rng, fuzz.memory_size, fps)
-                      : random_linked_instance(rng, fuzz.memory_size, linked);
+  // 3/8 arbitrary FP bindings, 3/8 real linked faults, 2/8 decoder faults.
+  const std::size_t kind = rng.below(8);
+  if (kind < 3) {
+    fuzz.instance = random_binding(rng, fuzz.memory_size, fps);
+  } else if (kind < 6) {
+    fuzz.instance = random_linked_instance(rng, fuzz.memory_size, linked);
+  } else {
+    fuzz.instance = random_decoder_instance(rng, fuzz.memory_size);
+  }
   return fuzz;
 }
 
