@@ -2,11 +2,39 @@
 // across n = 64 … 65536 in one call.  The packed engine's per-instance cost
 // is independent of n (cell collapsing), so sweep cost tracks the per-fault
 // layout cap, not the memory size — the counters make that visible.
+//
+// Two front ends in one binary:
+//
+//  * default — the google-benchmark suite below (BM_*), as before;
+//  * --json / --quick / --cap — the canonical cold-vs-warm sweep-store
+//    measurement the CI bench-smoke job records as BENCH_sweep.json
+//    (compared against bench/BENCH_sweep_baseline.json by
+//    scripts/compare_bench_sweep.py).  Cold evaluates every point and
+//    persists it (store/sweep_store.hpp); warm must load every point back —
+//    the run *fails* if the warm pass evaluated anything, which is the
+//    resume-from-store acceptance bar, or if warm reports differ from cold.
+//
+// Usage: bench_memory_sweep [--quick] [--json <path|->] [--cap <k>]
+//        bench_memory_sweep [google-benchmark flags]
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "common/parse.hpp"
 #include "fp/fault_list.hpp"
 #include "march/catalog.hpp"
 #include "sim/sweep.hpp"
+#include "store/sweep_store.hpp"
 
 namespace {
 
@@ -60,6 +88,173 @@ void BM_SingleSizeLargeN(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleSizeLargeN)->Unit(benchmark::kMillisecond);
 
+// --- canonical cold/warm sweep-store measurement ----------------------------
+
+struct PointTiming {
+  std::size_t n = 0;
+  double cold_ms = 0;
+  double warm_ms = 0;
+};
+
+double elapsed_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void write_json(std::FILE* out, const MarchTest& test, const FaultList& list,
+                std::size_t cap, const std::vector<PointTiming>& timings,
+                double cold_ms, double warm_ms, std::size_t instances,
+                std::size_t evaluations_cold, std::size_t evaluations_warm) {
+  const double evals_per_sec =
+      cold_ms > 0 ? static_cast<double>(instances) / (cold_ms / 1000.0) : 0;
+  std::fprintf(out,
+               "{\n  \"bench\": \"memory_sweep_store\",\n"
+               "  \"test\": \"%s\", \"list\": \"%s\", \"cap\": %zu,\n"
+               "  \"cold_ms\": %.3f, \"warm_ms\": %.3f,\n"
+               "  \"evaluations_cold\": %zu, \"evaluations_warm\": %zu,\n"
+               "  \"instances\": %zu, \"instance_evals_per_sec_cold\": %.1f,\n"
+               "  \"points\": [\n",
+               test.name().c_str(), list.name.c_str(), cap, cold_ms, warm_ms,
+               evaluations_cold, evaluations_warm, instances, evals_per_sec);
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"n\": %zu, \"cold_ms\": %.3f, \"warm_ms\": %.3f}%s\n",
+                 timings[i].n, timings[i].cold_ms, timings[i].warm_ms,
+                 i + 1 < timings.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+int run_store_bench(bool quick, std::size_t cap, const char* json_path) {
+  const MarchTest test = march_sl();
+  const FaultList list = fault_list_2();
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{64, 256, 4096}
+            : std::vector<std::size_t>{64, 256, 4096, 65536};
+
+#if defined(_WIN32)
+  const std::string tag = "bench";
+#else
+  const std::string tag = std::to_string(::getpid());
+#endif
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("mtg_bench_sweep_" + tag);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // a cold store must start empty
+
+  PosixStorage storage;
+  SweepStore store(storage, dir.string());
+  if (!store.open()) {
+    std::fprintf(stderr, "error: cannot open bench store at %s\n",
+                 dir.string().c_str());
+    return 1;
+  }
+  SweepOptions options;
+  options.max_instances_per_fault = cap;
+  options.threads = 1;  // per-point timings need a quiet machine, not a pool
+  options.store = &store;
+
+  std::vector<PointTiming> timings;
+  std::size_t instances = 0, evaluations_cold = 0, evaluations_warm = 0;
+  std::string cold_grid, warm_grid;
+  double cold_ms = 0, warm_ms = 0;
+
+  for (const std::size_t n : sizes) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<SweepPoint> points =
+        sweep_coverage(test, list, {n}, options);
+    PointTiming timing;
+    timing.n = n;
+    timing.cold_ms = elapsed_ms_since(t0);
+    cold_ms += timing.cold_ms;
+    timings.push_back(timing);
+    instances += points[0].report.instances_total();
+    evaluations_cold += sweep_points_evaluated(points);
+    cold_grid += points[0].report.summary();
+  }
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<SweepPoint> points =
+        sweep_coverage(test, list, {sizes[i]}, options);
+    timings[i].warm_ms = elapsed_ms_since(t0);
+    warm_ms += timings[i].warm_ms;
+    evaluations_warm += sweep_points_evaluated(points);
+    warm_grid += points[0].report.summary();
+  }
+  std::filesystem::remove_all(dir, ec);
+
+  std::printf("%s vs %s (per-fault cap %zu, store-backed)\n",
+              test.name().c_str(), list.name.c_str(), cap);
+  std::printf("  cold: %8.3f ms  (%zu points evaluated, %zu instances)\n",
+              cold_ms, evaluations_cold, instances);
+  std::printf("  warm: %8.3f ms  (%zu points evaluated)\n", warm_ms,
+              evaluations_warm);
+
+  // The acceptance bar for resume-from-store: a warm re-run over a
+  // previously persisted grid performs ZERO coverage evaluations and
+  // reproduces the grid byte for byte.
+  if (evaluations_warm != 0) {
+    std::fprintf(stderr,
+                 "error: warm re-run evaluated %zu points — resume from "
+                 "store is broken\n",
+                 evaluations_warm);
+    return 1;
+  }
+  if (warm_grid != cold_grid) {
+    std::fprintf(stderr,
+                 "error: warm grid differs from cold grid — store round trip "
+                 "is not byte-identical\n");
+    return 1;
+  }
+
+  if (json_path != nullptr) {
+    if (std::strcmp(json_path, "-") == 0) {
+      write_json(stdout, test, list, cap, timings, cold_ms, warm_ms, instances,
+                 evaluations_cold, evaluations_warm);
+    } else {
+      std::FILE* out = std::fopen(json_path, "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", json_path);
+        return 1;
+      }
+      write_json(out, test, list, cap, timings, cold_ms, warm_ms, instances,
+                 evaluations_cold, evaluations_warm);
+      std::fclose(out);
+      std::printf("JSON summary written to %s\n", json_path);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  bool quick = false, store_mode = false;
+  std::size_t cap = 256;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      store_mode = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      store_mode = true;
+    } else if (std::strcmp(argv[i], "--cap") == 0 && i + 1 < argc) {
+      try {
+        cap = mtg::parse_count(argv[++i], "--cap");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+      store_mode = true;
+    }
+  }
+  if (store_mode) return run_store_bench(quick, cap, json_path);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

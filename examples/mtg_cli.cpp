@@ -14,10 +14,16 @@
 //       parallel; per-fault layouts are capped (deterministically sampled)
 //       above --cap instances (default 4096, 0 = full enumeration).  The
 //       decoder list is the one whose curve varies with n.
+//   mtg_cli coverage ... --store <dir>
+//       persistent result cache (store/sweep_store.hpp): completed points
+//       are persisted as they land and verified hits skip recomputation on
+//       re-runs.  A missing/damaged/read-only store degrades to plain
+//       recomputation with a warning — results are identical either way.
 //   mtg_cli dot <g0|pgcf>
 //       print the Figure 2 / Figure 4 graph as GraphViz DOT
 #include <algorithm>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +35,7 @@
 #include "memory/pattern_graph.hpp"
 #include "sim/coverage.hpp"
 #include "sim/sweep.hpp"
+#include "store/sweep_store.hpp"
 
 namespace {
 
@@ -94,12 +101,31 @@ int cmd_generate(const std::string& list_name, bool stats) {
   return result.full_coverage ? 0 : 1;
 }
 
+void print_store_stats(const SweepStore& store, const std::string& path) {
+  const SweepStoreStats stats = store.stats();
+  std::cout << "store " << path << ": " << stats.hits << " hits, "
+            << stats.misses << " misses, " << stats.saves << " saved";
+  if (stats.corrupt_records > 0) {
+    std::cout << ", " << stats.corrupt_records << " corrupt repaired";
+  }
+  if (!store.enabled()) std::cout << " (degraded: store disabled)";
+  std::cout << "\n";
+}
+
 int cmd_sweep(const std::string& notation, const std::string& list_name,
-              const std::string& size_list, std::size_t cap) {
+              const std::string& size_list, std::size_t cap,
+              const std::string& store_path) {
   const MarchTest test = parse_march_test(notation, "cli test");
   const FaultList list = list_by_name(list_name);
   SweepOptions options;
   options.max_instances_per_fault = cap;
+  PosixStorage storage;
+  std::optional<SweepStore> store;
+  if (!store_path.empty()) {
+    store.emplace(storage, store_path);
+    store->open();  // failure degrades to store-less with a warning
+    options.store = &*store;
+  }
   // parse_size_list (common/parse.hpp) keeps duplicates and unsorted sizes
   // as given; sweep_coverage validates the n >= 3 minimum up front and
   // throws a clean Error before any point evaluates.
@@ -113,6 +139,7 @@ int cmd_sweep(const std::string& notation, const std::string& list_name,
     std::cout << "n=" << point.memory_size << ": "
               << point.report.summary() << "\n";
   }
+  if (store.has_value()) print_store_stats(*store, store_path);
   const bool all_covered =
       std::all_of(points.begin(), points.end(), [](const SweepPoint& p) {
         return p.report.full_coverage();
@@ -121,9 +148,25 @@ int cmd_sweep(const std::string& notation, const std::string& list_name,
 }
 
 int cmd_coverage(const std::string& notation, const std::string& list_name,
-                 std::size_t n) {
+                 std::size_t n, const std::string& store_path) {
   const MarchTest test = parse_march_test(notation, "cli test");
   const FaultList list = list_by_name(list_name);
+  if (!store_path.empty()) {
+    // Route through the sweep path so the single point reads/writes the
+    // store like any grid cell.  Full enumeration (cap 0) matches the
+    // store-less branch below, so the printed report is byte-identical.
+    PosixStorage storage;
+    SweepStore store(storage, store_path);
+    store.open();
+    SweepOptions options;
+    options.max_instances_per_fault = 0;
+    options.store = &store;
+    const std::vector<SweepPoint> points =
+        sweep_coverage(test, list, {n}, options);
+    std::cout << points[0].report.summary() << "\n";
+    print_store_stats(store, store_path);
+    return points[0].report.full_coverage() ? 0 : 1;
+  }
   const FaultSimulator simulator(SimulatorOptions{n, true, 10});
   const CoverageReport report = evaluate_coverage(simulator, test, list);
   std::cout << report.summary() << "\n";
@@ -149,9 +192,10 @@ int usage() {
             << "  mtg_cli generate <list1|list2|simple|retention|decoder> "
                "[--stats]\n"
             << "  mtg_cli coverage \"<march notation>\" "
-               "<list1|list2|simple|retention|decoder> [n]\n"
+               "<list1|list2|simple|retention|decoder> [n] [--store <dir>]\n"
             << "  mtg_cli coverage \"<march notation>\" <list> "
-               "--sweep <n1,n2,...> [--cap <instances-per-fault>]\n"
+               "--sweep <n1,n2,...> [--cap <instances-per-fault>] "
+               "[--store <dir>]\n"
             << "  mtg_cli dot <g0|pgcf>\n";
   return 2;
 }
@@ -169,19 +213,29 @@ int main(int argc, char** argv) {
       return cmd_generate(argv[2], stats);
     }
     if (command == "coverage" && argc > 3) {
-      if (argc > 4 && std::string(argv[4]) == "--sweep") {
-        if (argc < 6) return usage();  // size list missing
-        std::size_t cap = 4096;
-        if (argc == 8 && std::string(argv[6]) == "--cap") {
-          cap = parse_count(argv[7], "--cap");
-        } else if (argc != 6) {
+      std::string sweep_sizes;
+      std::string store_path;
+      std::size_t cap = 4096;
+      std::optional<std::size_t> n;
+      for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--sweep" && i + 1 < argc) {
+          sweep_sizes = argv[++i];
+        } else if (arg == "--cap" && i + 1 < argc) {
+          cap = parse_count(argv[++i], "--cap");
+        } else if (arg == "--store" && i + 1 < argc) {
+          store_path = argv[++i];
+        } else if (!n.has_value() && !arg.empty() && arg[0] != '-') {
+          n = parse_memory_size(arg, "memory size");
+        } else {
           return usage();
         }
-        return cmd_sweep(argv[2], argv[3], argv[5], cap);
       }
-      const std::size_t n =
-          argc > 4 ? parse_memory_size(argv[4], "memory size") : 6;
-      return cmd_coverage(argv[2], argv[3], n);
+      if (!sweep_sizes.empty()) {
+        if (n.has_value()) return usage();  // [n] is the non-sweep form
+        return cmd_sweep(argv[2], argv[3], sweep_sizes, cap, store_path);
+      }
+      return cmd_coverage(argv[2], argv[3], n.value_or(6), store_path);
     }
     if (command == "dot" && argc > 2) return cmd_dot(argv[2]);
     return usage();

@@ -26,13 +26,26 @@ int main(int argc, char** argv) {
               << "]  TP" << edge.tp_index << " of " << edge.source << "\n";
   }
 
-  {
-    std::ofstream out(dir + "/g0.dot");
-    out << g0.to_dot("G0");
-  }
-  {
-    std::ofstream out(dir + "/pgcf.dot");
-    out << pgcf.to_dot("PGCF");
+  // Write through a checked helper: an unwritable output directory used to
+  // produce no files (or empty ones) while still reporting success.
+  const auto write_dot = [](const std::string& path,
+                            const std::string& content) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot open " << path << " for writing\n";
+      return false;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      std::cerr << "error: writing " << path << " failed\n";
+      return false;
+    }
+    return true;
+  };
+  if (!write_dot(dir + "/g0.dot", g0.to_dot("G0")) ||
+      !write_dot(dir + "/pgcf.dot", pgcf.to_dot("PGCF"))) {
+    return 1;
   }
   std::cout << "Wrote " << dir << "/g0.dot and " << dir << "/pgcf.dot\n";
   return 0;

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_sweep.json against the committed baseline.
+
+Usage: compare_bench_sweep.py <current.json> <baseline.json> [--factor 2.0]
+
+Emits a GitHub Actions `::warning::` annotation for every cold/warm timing
+(total and per sweep point, matched by n) that regressed by more than the
+factor, and for correctness-shape drift (warm evaluations, instance counts).
+Timing warnings never fail the job — CI runners are noisy, so a slowdown is
+a flag for a human, not a gate; the hard gates (warm run evaluates nothing,
+grids byte-identical) live inside bench_memory_sweep itself, which exits
+nonzero when they break.
+
+Exit codes: 0 = compared (with or without warnings), 2 = malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def warn(message: str) -> None:
+    print(f"::warning ::{message}")
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+    if data.get("bench") != "memory_sweep_store":
+        print(f"error: {path} is not a memory_sweep_store summary",
+              file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def compare_timing(label: str, current: float, baseline: float,
+                   factor: float) -> bool:
+    if baseline <= 0 or current <= factor * baseline:
+        return False
+    warn(f"{label}: {current:.3f} ms vs baseline {baseline:.3f} ms "
+         f"(>{factor:.1f}x regression)")
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="regression threshold (default: 2.0x)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    warnings = 0
+    warnings += compare_timing("sweep-store cold total",
+                               current.get("cold_ms", 0.0),
+                               baseline.get("cold_ms", 0.0), args.factor)
+    warnings += compare_timing("sweep-store warm total",
+                               current.get("warm_ms", 0.0),
+                               baseline.get("warm_ms", 0.0), args.factor)
+
+    baseline_points = {p["n"]: p for p in baseline.get("points", [])}
+    for point in current.get("points", []):
+        ref = baseline_points.get(point["n"])
+        if ref is None:
+            warn(f"n={point['n']}: no baseline point to compare against")
+            warnings += 1
+            continue
+        for phase in ("cold_ms", "warm_ms"):
+            warnings += compare_timing(
+                f"n={point['n']} {phase.removesuffix('_ms')}",
+                point.get(phase, 0.0), ref.get(phase, 0.0), args.factor)
+
+    # Shape drift: these are correctness signals, not noise, but the bench
+    # binary already hard-fails on the one that matters (warm evaluations).
+    if current.get("evaluations_warm", 0) != baseline.get(
+            "evaluations_warm", 0):
+        warn(f"warm evaluations changed: {current.get('evaluations_warm')} "
+             f"vs baseline {baseline.get('evaluations_warm')}")
+        warnings += 1
+    if current.get("instances", 0) != baseline.get("instances", 0):
+        warn(f"instance count changed: {current.get('instances')} vs "
+             f"baseline {baseline.get('instances')} "
+             "(workload drift — refresh the baseline)")
+        warnings += 1
+
+    if warnings == 0:
+        print(f"OK: within {args.factor:.1f}x of baseline "
+              f"(cold {current.get('cold_ms', 0.0):.3f} ms, "
+              f"warm {current.get('warm_ms', 0.0):.3f} ms)")
+    else:
+        print(f"{warnings} warning(s) — see annotations above")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

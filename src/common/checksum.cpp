@@ -1,0 +1,41 @@
+#include "common/checksum.hpp"
+
+#include <array>
+
+namespace mtg {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc32_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t stable_hash64(std::string_view data) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;  // FNV offset basis
+  for (const char ch : data) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001B3ull;  // FNV prime
+  }
+  return hash;
+}
+
+}  // namespace mtg

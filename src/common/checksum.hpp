@@ -1,0 +1,25 @@
+// Checksums and stable hashing shared by the persistent layers.
+//
+// Two distinct needs, two distinct functions:
+//
+//  * crc32()        — integrity check for on-disk records (store/).  Detects
+//    torn writes, bit flips and truncation; IEEE 802.3 polynomial, the same
+//    one zlib/PNG use, so records can be cross-checked with external tools.
+//  * stable_hash64() — identity of canonical serializations (store keys).
+//    FNV-1a, 64-bit: deterministic across runs, platforms and endianness
+//    because it consumes bytes in string order.  NOT std::hash, which is
+//    explicitly allowed to differ between implementations and processes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mtg {
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) of `data`.
+std::uint32_t crc32(std::string_view data);
+
+/// 64-bit FNV-1a of `data`: the stable content hash used for store keys.
+std::uint64_t stable_hash64(std::string_view data);
+
+}  // namespace mtg

@@ -1,5 +1,8 @@
 #include "fp/fault_list.hpp"
 
+#include <sstream>
+
+#include "common/checksum.hpp"
 #include "common/error.hpp"
 #include "fp/fp_library.hpp"
 
@@ -186,6 +189,36 @@ FaultList retention_fault_list() {
   }
   list.linked = enumerate_retention_linked_faults();
   return list;
+}
+
+std::string to_canonical_string(const FaultList& list) {
+  // Field-by-field, in list order: the canonical form must not depend on
+  // display names (SimpleFault::name, LinkedFault::name carry unicode and
+  // could drift cosmetically) — only on what the simulator actually
+  // consumes.
+  std::ostringstream out;
+  out << "faultlist v1\n";
+  for (const SimpleFault& fault : list.simple) {
+    out << "simple " << fault.fp.notation() << " a_pos=" << int(fault.a_pos)
+        << " v_pos=" << int(fault.v_pos) << "\n";
+  }
+  for (const LinkedFault& fault : list.linked) {
+    const LinkedLayout& layout = fault.layout();
+    out << "linked " << fault.fp1().notation() << " -> "
+        << fault.fp2().notation() << " cells=" << int(layout.num_cells)
+        << " a1=" << int(layout.a1_pos) << " a2=" << int(layout.a2_pos)
+        << " v=" << int(layout.v_pos) << "\n";
+  }
+  for (const DecoderFault& fault : list.decoder) {
+    out << "decoder cls=" << int(static_cast<unsigned char>(fault.cls))
+        << " bit=" << fault.bit
+        << " wired=" << (fault.wired == Bit::One ? 1 : 0) << "\n";
+  }
+  return out.str();
+}
+
+std::uint64_t stable_hash(const FaultList& list) {
+  return stable_hash64(to_canonical_string(list));
 }
 
 FaultList decoder_fault_list(std::size_t max_address_bits) {

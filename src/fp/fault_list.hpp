@@ -96,6 +96,18 @@ FaultList standard_simple_static_faults();
 /// cover this list.
 FaultList retention_fault_list();
 
+/// Canonical serialization of `list`: one line per fault, built from the
+/// primitive fields only (FP notation, numeric layout positions, decoder
+/// class/bit/wired), with the list name excluded — it is presentation
+/// metadata, and two lists with equal content must serialize identically.
+/// Deterministic across runs and platforms; the domain of stable_hash().
+/// Format drift is locked by golden hashes in tests/fp/test_fault_list.cpp.
+std::string to_canonical_string(const FaultList& list);
+
+/// Stable 64-bit content hash (FNV-1a over to_canonical_string(list)) —
+/// one half of the sweep store's record key (store/sweep_store.hpp).
+std::uint64_t stable_hash(const FaultList& list);
+
 /// Address-decoder faults (fp/decoder_fault.hpp): the four classical decoder
 /// fault classes — no access, wrong cell, multiple cells (wired-AND and
 /// wired-OR) and multiple addresses — on every address line

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/checksum.hpp"
 #include "common/error.hpp"
 
 namespace mtg {
@@ -64,6 +65,10 @@ std::string MarchTest::to_string(bool ascii) const {
 
 std::ostream& operator<<(std::ostream& os, const MarchTest& mt) {
   return os << mt.to_string();
+}
+
+std::uint64_t stable_hash(const MarchTest& test) {
+  return stable_hash64(test.to_canonical_string());
 }
 
 }  // namespace mtg

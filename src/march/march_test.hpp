@@ -1,6 +1,7 @@
 // March tests (Definition 10): a named sequence of march elements.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -50,6 +51,14 @@ class MarchTest {
   /// Notation form: "{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}".
   std::string to_string(bool ascii = false) const;
 
+  /// Canonical serialization: the deterministic ASCII notation form, e.g.
+  /// "{c(w0); ^(r0,w1); v(r1,w0)}".  Round-trips through the parser —
+  /// parse_march_test(t.to_canonical_string()) == t — and excludes the name
+  /// (metadata, like operator==), so equal tests serialize identically and
+  /// stable_hash() keys derived from it are stable across runs and
+  /// platforms.  Locked by tests/march/test_march_test.cpp.
+  std::string to_canonical_string() const { return to_string(/*ascii=*/true); }
+
   friend bool operator==(const MarchTest& a, const MarchTest& b) {
     return a.elements_ == b.elements_;  // the name is metadata
   }
@@ -63,5 +72,10 @@ class MarchTest {
 };
 
 std::ostream& operator<<(std::ostream& os, const MarchTest& mt);
+
+/// Stable 64-bit content hash (FNV-1a over to_canonical_string()): equal
+/// tests hash equally regardless of their names, across runs and platforms.
+/// One half of the sweep store's record key (store/sweep_store.hpp).
+std::uint64_t stable_hash(const MarchTest& test);
 
 }  // namespace mtg

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "store/sweep_store.hpp"
 
 namespace mtg {
 
@@ -19,9 +20,34 @@ std::vector<SweepPoint> sweep_coverage(const MarchTest& test,
                         std::to_string(n));
   }
 
+  // Content hashes are the store key halves; computed once per sweep, they
+  // are what makes a record from a previous process reusable (names are
+  // metadata and deliberately not part of the identity).
+  const std::uint64_t test_hash = options.store ? stable_hash(test) : 0;
+  const std::uint64_t list_hash = options.store ? stable_hash(list) : 0;
+  const auto key_for = [&](std::size_t n) {
+    SweepKey key;
+    key.test_hash = test_hash;
+    key.list_hash = list_hash;
+    key.memory_size = n;
+    key.max_instances_per_fault = options.max_instances_per_fault;
+    return key;
+  };
+
   std::vector<SweepPoint> points(sizes.size());
   const auto evaluate = [&](std::size_t, std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
+      points[i].memory_size = sizes[i];
+      if (options.store != nullptr &&
+          options.store->load(key_for(sizes[i]), points[i].report)) {
+        // The record stores content, the caller supplies presentation: a
+        // cached report must be byte-identical to a fresh evaluation even
+        // when the hit comes from a run that named the test differently.
+        points[i].report.test_name = test.name();
+        points[i].report.list_name = list.name;
+        points[i].from_store = true;
+        continue;
+      }
       SimulatorOptions sim_options;
       sim_options.memory_size = sizes[i];
       sim_options.both_power_on_states = options.both_power_on_states;
@@ -30,10 +56,15 @@ std::vector<SweepPoint> sweep_coverage(const MarchTest& test,
       // Each point evaluates sequentially on its worker: the parallelism
       // lives across sweep points, not inside them.
       sim_options.coverage_threads = 1;
-      points[i].memory_size = sizes[i];
       points[i].report = evaluate_coverage(FaultSimulator(sim_options), test,
                                            list,
                                            options.max_instances_per_fault);
+      if (options.store != nullptr) {
+        // Persist the point as it lands: an interrupted sweep resumes from
+        // every record that completed the atomic-replace protocol.  A save
+        // failure only degrades the store, never this result.
+        options.store->save(key_for(sizes[i]), points[i].report);
+      }
     }
   };
 
@@ -50,6 +81,14 @@ std::vector<SweepPoint> sweep_coverage(const MarchTest& test,
     pool.parallel_for(sizes.size(), /*chunk=*/1, evaluate);
   }
   return points;
+}
+
+std::size_t sweep_points_evaluated(const std::vector<SweepPoint>& points) {
+  std::size_t evaluated = 0;
+  for (const SweepPoint& point : points) {
+    if (!point.from_store) ++evaluated;
+  }
+  return evaluated;
 }
 
 std::string sweep_summary(const std::vector<SweepPoint>& points) {

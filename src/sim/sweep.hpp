@@ -30,6 +30,8 @@
 
 namespace mtg {
 
+class SweepStore;
+
 struct SweepOptions {
   /// SimulatorOptions fields shared by every sweep point.
   bool both_power_on_states = true;
@@ -40,13 +42,28 @@ struct SweepOptions {
   std::size_t max_instances_per_fault = 4096;
   /// Worker threads across sweep points; 0 picks the hardware concurrency.
   std::size_t threads = 0;
+  /// Optional persistent result cache (store/sweep_store.hpp, opened by the
+  /// caller).  Every completed point is persisted as it lands; points whose
+  /// verified record already exists load instead of recomputing — resumable
+  /// partial grids.  The reports are byte-identical with or without a
+  /// (possibly failing) store: a damaged or unavailable store only costs
+  /// recomputation, never correctness.
+  SweepStore* store = nullptr;
 };
 
 /// Coverage of one sweep point.
 struct SweepPoint {
   std::size_t memory_size = 0;
   CoverageReport report;
+  /// True when the report was loaded from SweepOptions::store instead of
+  /// evaluated — the per-point "engine call" indicator the warm-resume
+  /// tests and benchmarks count.
+  bool from_store = false;
 };
+
+/// Number of points actually evaluated (not loaded from the store): 0 on a
+/// fully warm resume.
+std::size_t sweep_points_evaluated(const std::vector<SweepPoint>& points);
 
 /// Evaluates `test` against `list` at every memory size of `sizes`
 /// (each ≥ 3, the simulator's minimum; duplicates allowed, order kept).

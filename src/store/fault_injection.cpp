@@ -1,0 +1,129 @@
+#include "store/fault_injection.hpp"
+
+namespace mtg {
+
+void FaultInjectedStorage::fail_kth_operation(std::uint64_t k,
+                                              StoreFaultMode mode,
+                                              bool sticky) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_at_ = k;
+  mode_ = mode;
+  sticky_ = sticky;
+  ops_since_schedule_ = 0;
+}
+
+void FaultInjectedStorage::clear_fault() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_at_ = 0;
+  sticky_ = false;
+  ops_since_schedule_ = 0;
+}
+
+StorageOpCounts FaultInjectedStorage::counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+void FaultInjectedStorage::reset_counts() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counts_ = StorageOpCounts{};
+}
+
+bool FaultInjectedStorage::should_fail_locked() {
+  ++ops_since_schedule_;
+  if (fail_at_ == 0) return false;
+  const bool fail = sticky_ ? ops_since_schedule_ >= fail_at_
+                            : ops_since_schedule_ == fail_at_;
+  if (fail) ++counts_.faults_injected;
+  return fail;
+}
+
+StoreStatus FaultInjectedStorage::open_dir(const std::string& path) {
+  StoreFaultMode mode;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_.open_dirs;
+    if (!should_fail_locked()) return base_.open_dir(path);
+    mode = mode_;
+  }
+  // Torn modes are write-specific; Silent passes through, the rest fail.
+  if (mode == StoreFaultMode::TornWriteSilent) return base_.open_dir(path);
+  return StoreStatus::io_error("injected fault: open_dir " + path);
+}
+
+StoreStatus FaultInjectedStorage::read(const std::string& path,
+                                       std::string& out) {
+  StoreFaultMode mode;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_.reads;
+    if (!should_fail_locked()) return base_.read(path, out);
+    mode = mode_;
+  }
+  if (mode == StoreFaultMode::TornWriteSilent) return base_.read(path, out);
+  return StoreStatus::io_error("injected fault: read " + path);
+}
+
+StoreStatus FaultInjectedStorage::write(const std::string& path,
+                                        std::string_view data) {
+  StoreFaultMode mode;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_.writes;
+    if (!should_fail_locked()) return base_.write(path, data);
+    mode = mode_;
+  }
+  switch (mode) {
+    case StoreFaultMode::Error:
+      return StoreStatus::io_error("injected fault: write " + path);
+    case StoreFaultMode::TornWriteError: {
+      // Crash mid-write the writer observes: half the bytes land.
+      base_.write(path, data.substr(0, data.size() / 2));
+      return StoreStatus::io_error("injected fault: torn write " + path);
+    }
+    case StoreFaultMode::TornWriteSilent: {
+      // Crash after the ack: half the bytes land, success is reported.
+      return base_.write(path, data.substr(0, data.size() / 2));
+    }
+  }
+  return StoreStatus::io_error("injected fault: write " + path);
+}
+
+StoreStatus FaultInjectedStorage::sync(const std::string& path) {
+  StoreFaultMode mode;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_.syncs;
+    if (!should_fail_locked()) return base_.sync(path);
+    mode = mode_;
+  }
+  if (mode == StoreFaultMode::TornWriteSilent) return base_.sync(path);
+  return StoreStatus::io_error("injected fault: sync " + path);
+}
+
+StoreStatus FaultInjectedStorage::rename(const std::string& from,
+                                         const std::string& to) {
+  StoreFaultMode mode;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_.renames;
+    if (!should_fail_locked()) return base_.rename(from, to);
+    mode = mode_;
+  }
+  if (mode == StoreFaultMode::TornWriteSilent) return base_.rename(from, to);
+  return StoreStatus::io_error("injected fault: rename " + from + " -> " + to);
+}
+
+StoreStatus FaultInjectedStorage::remove(const std::string& path) {
+  StoreFaultMode mode;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_.removes;
+    if (!should_fail_locked()) return base_.remove(path);
+    mode = mode_;
+  }
+  if (mode == StoreFaultMode::TornWriteSilent) return base_.remove(path);
+  return StoreStatus::io_error("injected fault: remove " + path);
+}
+
+}  // namespace mtg

@@ -1,0 +1,104 @@
+// FaultInjectedStorage — the adversary of the persistence layer.
+//
+// Wraps any Storage, counts every operation, and injects a failure at a
+// scheduled operation index.  The fault-injection harness
+// (tests/store/test_fault_injection.cpp) drives a whole sweep once to learn
+// the operation count M, then replays it M times failing the k-th operation
+// for every k ∈ [1, M] — the exhaustive "fail every failure point" sweep of
+// the CalicoDB fakes (SNIPPETS.md §3) — asserting that coverage results stay
+// byte-identical to the store-less run and that any record damaged mid-write
+// is detected and repaired on the next run.
+//
+// Three failure shapes, because they damage the store differently:
+//
+//  * Error           — the operation does nothing and reports IOError: a
+//    full-stop failure (ENOSPC, EACCES, pulled disk).
+//  * TornWriteError  — a write persists only a prefix of the data, then
+//    reports IOError: a crash mid-write the writer *observes*.  Non-write
+//    operations degrade to plain Error.
+//  * TornWriteSilent — a write persists only a prefix but reports success: a
+//    crash after the ack (lost FLUSH, firmware lie).  The writer believes
+//    the record is good; only the next run's checksum can catch it.
+//    Non-write operations pass through unharmed (the lie is write-specific).
+//
+// `sticky` failures persist from the k-th operation onward (dead disk);
+// non-sticky ones hit exactly once (transient — a retry succeeds), which is
+// what the sweep store's bounded-backoff ladder is tested against.
+//
+// Counters are updated under a mutex: sweep points save from pool workers.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "store/storage.hpp"
+
+namespace mtg {
+
+/// How the scheduled fault manifests (see the file comment).
+enum class StoreFaultMode : unsigned char {
+  Error,
+  TornWriteError,
+  TornWriteSilent,
+};
+
+/// Per-operation-type counters (ops that reached this wrapper, injected or
+/// not).  A snapshot type: grab copies before/after a phase and diff them to
+/// assert *what* a re-run did (e.g. resumability = exactly one write per
+/// recomputed point).
+struct StorageOpCounts {
+  std::uint64_t open_dirs = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t renames = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t faults_injected = 0;
+
+  std::uint64_t total() const noexcept {
+    return open_dirs + reads + writes + syncs + renames + removes;
+  }
+};
+
+class FaultInjectedStorage : public Storage {
+ public:
+  /// Wraps `base`; `base` must outlive this object.
+  explicit FaultInjectedStorage(Storage& base) : base_(base) {}
+
+  /// Schedules the fault: the `k`-th operation from now (1-based) fails with
+  /// `mode`; with `sticky`, every later operation fails too.  Resets the
+  /// operation counter so `k` is relative to the call.
+  void fail_kth_operation(std::uint64_t k, StoreFaultMode mode,
+                          bool sticky = false);
+
+  /// Cancels any scheduled or sticky fault (the disk "comes back").
+  void clear_fault();
+
+  /// Snapshot of the operation counters.
+  StorageOpCounts counts() const;
+
+  /// Resets the counters (not the fault schedule).
+  void reset_counts();
+
+  StoreStatus open_dir(const std::string& path) override;
+  StoreStatus read(const std::string& path, std::string& out) override;
+  StoreStatus write(const std::string& path, std::string_view data) override;
+  StoreStatus sync(const std::string& path) override;
+  StoreStatus rename(const std::string& from, const std::string& to) override;
+  StoreStatus remove(const std::string& path) override;
+
+ private:
+  /// Advances the op counter; true when this operation must fail.
+  bool should_fail_locked();
+
+  Storage& base_;
+  mutable std::mutex mutex_;
+  StorageOpCounts counts_;
+  std::uint64_t ops_since_schedule_ = 0;
+  std::uint64_t fail_at_ = 0;  ///< 0 = no fault scheduled
+  bool sticky_ = false;
+  StoreFaultMode mode_ = StoreFaultMode::Error;
+};
+
+}  // namespace mtg

@@ -1,0 +1,149 @@
+#include "store/storage.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace mtg {
+
+namespace {
+
+std::string errno_message(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// --- PosixStorage -----------------------------------------------------------
+
+StoreStatus PosixStorage::open_dir(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return StoreStatus::io_error("open_dir " + path + ": " + ec.message());
+  }
+  return StoreStatus::okay();
+}
+
+StoreStatus PosixStorage::read(const std::string& path, std::string& out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (errno == ENOENT) {
+      return StoreStatus::not_found_status("read " + path + ": no such file");
+    }
+    return StoreStatus::io_error(errno_message("read", path));
+  }
+  out.clear();
+  char buffer[1 << 14];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    out.append(buffer, got);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return StoreStatus::io_error(errno_message("read", path));
+  return StoreStatus::okay();
+}
+
+StoreStatus PosixStorage::write(const std::string& path, std::string_view data) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return StoreStatus::io_error(errno_message("write", path));
+  }
+  const std::size_t put = std::fwrite(data.data(), 1, data.size(), file);
+  const bool failed = put != data.size() || std::fflush(file) != 0;
+  std::fclose(file);
+  if (failed) return StoreStatus::io_error(errno_message("write", path));
+  return StoreStatus::okay();
+}
+
+StoreStatus PosixStorage::sync(const std::string& path) {
+#if defined(_WIN32)
+  (void)path;  // no fsync; write() already flushed stdio buffers
+  return StoreStatus::okay();
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return StoreStatus::io_error(errno_message("sync", path));
+  const bool failed = ::fsync(fd) != 0;
+  ::close(fd);
+  if (failed) return StoreStatus::io_error(errno_message("sync", path));
+  return StoreStatus::okay();
+#endif
+}
+
+StoreStatus PosixStorage::rename(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    if (errno == ENOENT) {
+      return StoreStatus::not_found_status("rename " + from + ": no such file");
+    }
+    return StoreStatus::io_error(errno_message("rename", from + " -> " + to));
+  }
+  return StoreStatus::okay();
+}
+
+StoreStatus PosixStorage::remove(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) {
+    if (errno == ENOENT) {
+      return StoreStatus::not_found_status("remove " + path + ": no such file");
+    }
+    return StoreStatus::io_error(errno_message("remove", path));
+  }
+  return StoreStatus::okay();
+}
+
+// --- InMemoryStorage --------------------------------------------------------
+
+StoreStatus InMemoryStorage::open_dir(const std::string&) {
+  return StoreStatus::okay();  // directories are implicit in the path map
+}
+
+StoreStatus InMemoryStorage::read(const std::string& path, std::string& out) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return StoreStatus::not_found_status("read " + path + ": no such file");
+  }
+  out = it->second;
+  return StoreStatus::okay();
+}
+
+StoreStatus InMemoryStorage::write(const std::string& path,
+                                   std::string_view data) {
+  files_[path] = std::string(data);
+  return StoreStatus::okay();
+}
+
+StoreStatus InMemoryStorage::sync(const std::string& path) {
+  if (files_.find(path) == files_.end()) {
+    return StoreStatus::io_error("sync " + path + ": no such file");
+  }
+  return StoreStatus::okay();
+}
+
+StoreStatus InMemoryStorage::rename(const std::string& from,
+                                    const std::string& to) {
+  const auto it = files_.find(from);
+  if (it == files_.end()) {
+    return StoreStatus::not_found_status("rename " + from + ": no such file");
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return StoreStatus::okay();
+}
+
+StoreStatus InMemoryStorage::remove(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return StoreStatus::not_found_status("remove " + path + ": no such file");
+  }
+  return StoreStatus::okay();
+}
+
+}  // namespace mtg

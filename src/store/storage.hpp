@@ -1,0 +1,113 @@
+// Storage — the injectable byte-I/O boundary of the persistence layer.
+//
+// Every byte the sweep store reads or writes goes through this interface, so
+// a test double can observe, fail or tear any individual operation
+// (fault_injection.hpp) and prove that the engine layered on top never
+// returns a wrong result and never wedges on a damaged store — CalicoDB's
+// storage-interface / fake-storage split (SNIPPETS.md §3) is the model.
+//
+// The interface is whole-file granular on purpose: the sweep store's records
+// are small (a serialized CoverageReport) and are always replaced atomically
+// as a unit (write-temp + sync + rename), so partial-file cursors would only
+// widen the surface the fault harness has to sweep.  The six operations —
+// open_dir / read / write / sync / rename / remove — are exactly the failure
+// points the harness enumerates.
+//
+// Error reporting is by status value, not exception: a failed or damaged
+// store must degrade the caller gracefully (recompute, retry, fall back to
+// store-less operation), never unwind it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace mtg {
+
+/// Outcome class of a storage operation.
+enum class StoreRc : unsigned char {
+  Ok,
+  NotFound,  ///< the named file does not exist (read/rename/remove source)
+  IOError,   ///< anything else: permission, disk, injected fault, ...
+};
+
+/// Status of one storage operation; `message` is non-empty on failures.
+struct StoreStatus {
+  StoreRc rc = StoreRc::Ok;
+  std::string message;
+
+  bool ok() const noexcept { return rc == StoreRc::Ok; }
+  bool not_found() const noexcept { return rc == StoreRc::NotFound; }
+
+  static StoreStatus okay() { return {}; }
+  static StoreStatus not_found_status(std::string message) {
+    return {StoreRc::NotFound, std::move(message)};
+  }
+  static StoreStatus io_error(std::string message) {
+    return {StoreRc::IOError, std::move(message)};
+  }
+};
+
+/// Minimal virtual file-system interface: the only way store/ touches bytes.
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  /// Ensures the directory `path` exists (parents included, mkdir -p).
+  virtual StoreStatus open_dir(const std::string& path) = 0;
+
+  /// Reads the whole file into `out` (replacing its content).  A file that
+  /// vanishes or shrinks mid-read surfaces as IOError or a short `out` —
+  /// callers must treat any unexpected length as corruption, not trust it.
+  virtual StoreStatus read(const std::string& path, std::string& out) = 0;
+
+  /// Creates/truncates `path` and writes `data`.  Not atomic and not
+  /// durable: a crash (or injected tear) can leave any prefix on disk.
+  /// Durability needs sync(); atomicity needs the temp + rename protocol.
+  virtual StoreStatus write(const std::string& path, std::string_view data) = 0;
+
+  /// Flushes `path`'s content to stable storage (fsync).
+  virtual StoreStatus sync(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual StoreStatus rename(const std::string& from, const std::string& to) = 0;
+
+  /// Removes `path`; NotFound when it does not exist.
+  virtual StoreStatus remove(const std::string& path) = 0;
+};
+
+/// The real thing: POSIX files.  Stateless — safe to share across threads
+/// (callers serialize per-path access; the sweep store locks around ops).
+class PosixStorage : public Storage {
+ public:
+  StoreStatus open_dir(const std::string& path) override;
+  StoreStatus read(const std::string& path, std::string& out) override;
+  StoreStatus write(const std::string& path, std::string_view data) override;
+  StoreStatus sync(const std::string& path) override;
+  StoreStatus rename(const std::string& from, const std::string& to) override;
+  StoreStatus remove(const std::string& path) override;
+};
+
+/// Hermetic in-memory storage for tests: a path → content map with POSIX
+/// rename/remove semantics.  files() is exposed so tests can corrupt a
+/// record in place (flip bytes, truncate) exactly where a torn write or a
+/// bit rot would.
+class InMemoryStorage : public Storage {
+ public:
+  StoreStatus open_dir(const std::string& path) override;
+  StoreStatus read(const std::string& path, std::string& out) override;
+  StoreStatus write(const std::string& path, std::string_view data) override;
+  StoreStatus sync(const std::string& path) override;
+  StoreStatus rename(const std::string& from, const std::string& to) override;
+  StoreStatus remove(const std::string& path) override;
+
+  std::map<std::string, std::string>& files() noexcept { return files_; }
+  const std::map<std::string, std::string>& files() const noexcept {
+    return files_;
+  }
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace mtg

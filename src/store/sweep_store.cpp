@@ -1,0 +1,331 @@
+#include "store/sweep_store.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "common/checksum.hpp"
+
+namespace mtg {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'T', 'G', 'S', 'W', 'E', 'E', 'P'};
+constexpr std::uint32_t kFormatVersion = 1;
+// magic + format + engine + test + list + n + cap + payload_size
+// + payload_crc + header_crc
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4;
+
+// --- little-endian primitives (explicit: records must be byte-stable
+// across platforms) ----------------------------------------------------------
+
+void append_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void append_string(std::string& out, const std::string& value) {
+  append_u64(out, value.size());
+  out.append(value);
+}
+
+/// Bounds-checked forward reader over an untrusted byte range.  Every
+/// accessor returns false on exhaustion instead of reading past the end.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool read_u32(std::uint32_t& value) {
+    if (data_.size() - pos_ < 4) return false;
+    value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(data_[pos_ + i]))
+               << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t& value) {
+    if (data_.size() - pos_ < 8) return false;
+    value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(data_[pos_ + i]))
+               << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool read_string(std::string& value) {
+    std::uint64_t size = 0;
+    if (!read_u64(size)) return false;
+    if (size > remaining()) return false;  // corrupt length, don't allocate
+    value.assign(data_.data() + pos_, static_cast<std::size_t>(size));
+    pos_ += static_cast<std::size_t>(size);
+    return true;
+  }
+
+  bool read_bool(bool& value) {
+    if (remaining() < 1) return false;
+    const unsigned char byte = static_cast<unsigned char>(data_[pos_]);
+    if (byte > 1) return false;  // anything but 0/1 is damage
+    value = byte == 1;
+    ++pos_;
+    return true;
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+std::string encode_payload(const CoverageReport& report) {
+  std::string out;
+  append_string(out, report.test_name);
+  append_string(out, report.list_name);
+  append_u64(out, report.test_complexity);
+  append_u64(out, report.entries.size());
+  for (const CoverageEntry& entry : report.entries) {
+    append_u64(out, entry.fault_index);
+    append_string(out, entry.fault);
+    append_u64(out, entry.instances);
+    append_u64(out, entry.detected);
+    out.push_back(entry.covered ? '\1' : '\0');
+    append_string(out, entry.escape_description);
+  }
+  return out;
+}
+
+bool decode_payload(std::string_view payload, CoverageReport& out,
+                    std::string* why) {
+  const auto fail = [&](const char* message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  Cursor cursor(payload);
+  CoverageReport report;
+  std::uint64_t complexity = 0;
+  std::uint64_t entry_count = 0;
+  if (!cursor.read_string(report.test_name) ||
+      !cursor.read_string(report.list_name) || !cursor.read_u64(complexity) ||
+      !cursor.read_u64(entry_count)) {
+    return fail("truncated payload header");
+  }
+  report.test_complexity = static_cast<std::size_t>(complexity);
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    CoverageEntry entry;
+    std::uint64_t fault_index = 0, instances = 0, detected = 0;
+    if (!cursor.read_u64(fault_index) || !cursor.read_string(entry.fault) ||
+        !cursor.read_u64(instances) || !cursor.read_u64(detected) ||
+        !cursor.read_bool(entry.covered) ||
+        !cursor.read_string(entry.escape_description)) {
+      return fail("truncated coverage entry");
+    }
+    entry.fault_index = static_cast<std::size_t>(fault_index);
+    entry.instances = static_cast<std::size_t>(instances);
+    entry.detected = static_cast<std::size_t>(detected);
+    report.entries.push_back(std::move(entry));
+  }
+  if (cursor.remaining() != 0) return fail("trailing bytes after payload");
+  out = std::move(report);
+  return true;
+}
+
+}  // namespace
+
+// --- codec ------------------------------------------------------------------
+
+std::string SweepStore::encode_record(const SweepKey& key,
+                                      const CoverageReport& report) {
+  const std::string payload = encode_payload(report);
+  std::string record;
+  record.reserve(kHeaderSize + payload.size());
+  record.append(kMagic, sizeof kMagic);
+  append_u32(record, kFormatVersion);
+  append_u32(record, key.engine_version);
+  append_u64(record, key.test_hash);
+  append_u64(record, key.list_hash);
+  append_u64(record, key.memory_size);
+  append_u64(record, key.max_instances_per_fault);
+  append_u64(record, payload.size());
+  append_u32(record, crc32(payload));
+  append_u32(record, crc32(std::string_view(record)));  // header CRC
+  record.append(payload);
+  return record;
+}
+
+bool SweepStore::decode_record(std::string_view record, const SweepKey& key,
+                               CoverageReport& out, std::string* why) {
+  const auto fail = [&](const char* message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (record.size() < kHeaderSize) return fail("short read: header truncated");
+  if (record.compare(0, sizeof kMagic,
+                     std::string_view(kMagic, sizeof kMagic)) != 0) {
+    return fail("bad magic");
+  }
+  // The header CRC covers everything before it.
+  Cursor cursor(record.substr(sizeof kMagic, kHeaderSize - sizeof kMagic));
+  std::uint32_t format = 0, engine = 0, payload_crc = 0, header_crc = 0;
+  std::uint64_t test_hash = 0, list_hash = 0, n = 0, cap = 0, payload_size = 0;
+  cursor.read_u32(format);
+  cursor.read_u32(engine);
+  cursor.read_u64(test_hash);
+  cursor.read_u64(list_hash);
+  cursor.read_u64(n);
+  cursor.read_u64(cap);
+  cursor.read_u64(payload_size);
+  cursor.read_u32(payload_crc);
+  cursor.read_u32(header_crc);
+  if (crc32(record.substr(0, kHeaderSize - 4)) != header_crc) {
+    return fail("header checksum mismatch");
+  }
+  if (format != kFormatVersion) return fail("record format version mismatch");
+  const SweepKey embedded{test_hash, list_hash, n, cap, engine};
+  if (!(embedded == key)) return fail("key mismatch");
+  if (payload_size != record.size() - kHeaderSize) {
+    return fail("short read: payload truncated");
+  }
+  const std::string_view payload = record.substr(kHeaderSize);
+  if (crc32(payload) != payload_crc) return fail("payload checksum mismatch");
+  return decode_payload(payload, out, why);
+}
+
+// --- store ------------------------------------------------------------------
+
+SweepStore::SweepStore(Storage& storage, std::string root,
+                       SweepStoreOptions options)
+    : storage_(storage), root_(std::move(root)), options_(std::move(options)) {}
+
+void SweepStore::warn_locked(const std::string& message) {
+  if (options_.warn) {
+    options_.warn(message);
+  } else {
+    std::fprintf(stderr, "mtg sweep store warning: %s\n", message.c_str());
+  }
+}
+
+bool SweepStore::open() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  opened_ = true;
+  const StoreStatus status = storage_.open_dir(root_);
+  if (!status.ok()) {
+    disabled_ = true;
+    warn_locked("cannot open store directory '" + root_ + "' (" +
+                status.message + "); continuing without a store");
+    return false;
+  }
+  return true;
+}
+
+bool SweepStore::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !disabled_;
+}
+
+std::string SweepStore::record_path(const SweepKey& key) const {
+  std::ostringstream name;
+  name << "test=" << key.test_hash << " list=" << key.list_hash
+       << " n=" << key.memory_size << " cap=" << key.max_instances_per_fault
+       << " engine=" << key.engine_version;
+  std::ostringstream path;
+  path << root_ << "/sweep-" << std::hex << stable_hash64(name.str())
+       << ".rec";
+  return path.str();
+}
+
+bool SweepStore::load(const SweepKey& key, CoverageReport& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (disabled_) {
+    ++stats_.misses;
+    return false;
+  }
+  const std::string path = record_path(key);
+  std::string record;
+  const StoreStatus status = storage_.read(path, record);
+  if (!status.ok()) {
+    if (!status.not_found()) ++stats_.read_errors;
+    ++stats_.misses;
+    return false;
+  }
+  std::string why;
+  if (!decode_record(record, key, out, &why)) {
+    if (why == "key mismatch") {
+      ++stats_.key_mismatches;
+    } else {
+      ++stats_.corrupt_records;
+    }
+    // Repair: a record that cannot be trusted must not be read again.  The
+    // caller recomputes the point and save() rewrites it.
+    storage_.remove(path);
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  return true;
+}
+
+bool SweepStore::save(const SweepKey& key, const CoverageReport& report) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (disabled_) return false;
+  const std::string path = record_path(key);
+  const std::string tmp = path + ".tmp";
+  const std::string record = encode_record(key, report);
+
+  std::string last_error;
+  const int attempts = options_.max_write_attempts < 1
+                           ? 1
+                           : options_.max_write_attempts;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.save_retries;
+      if (options_.retry_backoff.count() > 0) {
+        std::this_thread::sleep_for(options_.retry_backoff * (attempt - 1));
+      }
+    }
+    // Atomic replace: the record becomes visible under its final name only
+    // complete and synced; readers see the old record or the new one, never
+    // a prefix.
+    StoreStatus status = storage_.write(tmp, record);
+    if (status.ok()) status = storage_.sync(tmp);
+    if (status.ok()) status = storage_.rename(tmp, path);
+    if (status.ok()) {
+      ++stats_.saves;
+      return true;
+    }
+    last_error = status.message;
+  }
+  storage_.remove(tmp);  // best effort: don't leave a damaged temp behind
+  ++stats_.save_failures;
+  disabled_ = true;
+  warn_locked("persisting a sweep record failed after " +
+              std::to_string(attempts) + " attempts (" + last_error +
+              "); continuing without a store");
+  return false;
+}
+
+bool SweepStore::remove(const SweepKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (disabled_) return false;
+  return storage_.remove(record_path(key)).ok();
+}
+
+SweepStoreStats SweepStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mtg

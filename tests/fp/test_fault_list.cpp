@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 namespace mtg {
@@ -137,6 +138,61 @@ TEST(FaultList, SimpleFaultFactoriesValidate) {
       SimpleFault::coupled(FaultPrimitive::cfst(Bit::Zero, Bit::One), false);
   EXPECT_EQ(f.a_pos, 1);
   EXPECT_EQ(f.v_pos, 0);
+}
+
+// --- canonical serialization + stable hashing (sweep store keys) ------------
+
+TEST(FaultListCanonical, IsDeterministicAndNameFree) {
+  const std::string a = to_canonical_string(fault_list_1());
+  const std::string b = to_canonical_string(fault_list_1());
+  EXPECT_EQ(a, b);
+
+  // The list name is presentation metadata: equal content must serialize —
+  // and therefore hash — identically under any label.
+  FaultList renamed = fault_list_1();
+  renamed.name = "another label";
+  EXPECT_EQ(to_canonical_string(renamed), a);
+  EXPECT_EQ(stable_hash(renamed), stable_hash(fault_list_1()));
+}
+
+TEST(FaultListCanonical, CoversEveryFaultKind) {
+  // One line per fault, all three sections present for a mixed list.
+  FaultList list;
+  list.simple.push_back(SimpleFault::single(FaultPrimitive::tf(Bit::Zero)));
+  list.linked = enumerate_single_cell_linked_faults();
+  list.decoder.push_back(
+      DecoderFault{DecoderFaultClass::MultipleCells, 3, Bit::One});
+  const std::string canonical = to_canonical_string(list);
+  EXPECT_NE(canonical.find("simple <0w1/0/->"), std::string::npos);
+  EXPECT_NE(canonical.find("linked <"), std::string::npos);
+  EXPECT_NE(canonical.find("decoder cls=2 bit=3 wired=1"), std::string::npos);
+  // Line count: header + one line per fault.
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(canonical.begin(), canonical.end(), '\n'));
+  EXPECT_EQ(lines, 1 + list.size());
+}
+
+TEST(FaultListCanonical, HashSeparatesTheBuiltInLists) {
+  const FaultList lists[] = {fault_list_1(), fault_list_2(),
+                             standard_simple_static_faults(),
+                             retention_fault_list(), decoder_fault_list()};
+  std::set<std::uint64_t> hashes;
+  for (const FaultList& list : lists) {
+    EXPECT_TRUE(hashes.insert(stable_hash(list)).second)
+        << list.name << " collides with an earlier list";
+  }
+  // Decoder lists of different widths are different content.
+  EXPECT_NE(stable_hash(decoder_fault_list(8)), stable_hash(decoder_fault_list(12)));
+}
+
+TEST(FaultListCanonical, HashIsStableAcrossRunsAndPlatforms) {
+  // Golden values locking the canonical format and the FNV-1a hash: a drift
+  // here silently invalidates every persisted sweep record, so it must be a
+  // conscious decision (bump kSweepStoreEngineVersion when semantics move).
+  EXPECT_EQ(stable_hash(fault_list_2()), 0x49BB458D5748008Aull);
+  EXPECT_EQ(stable_hash(standard_simple_static_faults()),
+            0xAC9DC7A0D9D7FB26ull);
+  EXPECT_EQ(stable_hash(decoder_fault_list()), 0xEF9B576B39423E08ull);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "march/catalog.hpp"
 #include "march/parser.hpp"
 
 namespace mtg {
@@ -61,6 +64,46 @@ TEST(MarchTest, EmptyTest) {
   EXPECT_TRUE(t.empty());
   EXPECT_EQ(t.complexity(), 0u);
   EXPECT_EQ(t.consistency_violation(), "");
+}
+
+// --- canonical serialization + stable hashing (sweep store keys) ------------
+
+TEST(Canonical, RoundTripsThroughParserForFullCatalog) {
+  // The canonical form is the hash domain of the sweep store's record keys:
+  // it must reconstruct an equal test through the parser for every published
+  // test — including March G's wait ops and every address-order arrow — or
+  // hashes would not identify test content.
+  for (const MarchTest& test : all_catalog_tests()) {
+    const std::string canonical = test.to_canonical_string();
+    EXPECT_EQ(parse_march_test(canonical), test) << test.name() << ": "
+                                                 << canonical;
+    // Serialize-parse-serialize is a fixed point.
+    EXPECT_EQ(parse_march_test(canonical).to_canonical_string(), canonical);
+  }
+}
+
+TEST(Canonical, HashIgnoresTheName) {
+  MarchTest a = simple_test();
+  MarchTest b = simple_test();
+  b.set_name("a different label for the same content");
+  EXPECT_EQ(stable_hash(a), stable_hash(b));
+}
+
+TEST(Canonical, HashSeparatesTheCatalog) {
+  std::set<std::uint64_t> hashes;
+  for (const MarchTest& test : all_catalog_tests()) {
+    EXPECT_TRUE(hashes.insert(stable_hash(test)).second)
+        << test.name() << " collides with an earlier catalog test";
+  }
+}
+
+TEST(Canonical, HashIsStableAcrossRunsAndPlatforms) {
+  // Golden values: FNV-1a over the ASCII notation, locked so a cosmetic
+  // change to the canonical format (or a platform-dependent hash) cannot
+  // silently invalidate — or worse, alias — every persisted sweep record.
+  EXPECT_EQ(stable_hash(mats_plus()), 0x03CE7B266A64ABA2ull);
+  EXPECT_EQ(stable_hash(march_sl()), 0xB89C11834924123Cull);
+  EXPECT_EQ(stable_hash(march_g()), 0xE36C01C8FCC30FBDull);
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+// The Storage interface contract: PosixStorage and InMemoryStorage must be
+// interchangeable (the fault-injection harness runs hermetically on the
+// in-memory fake but the CLI/bench run on POSIX files), and
+// FaultInjectedStorage must count and fail operations exactly as scheduled.
+#include "store/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "store/fault_injection.hpp"
+
+namespace mtg {
+namespace {
+
+// Behaviour every Storage implementation must share.  `root` is a fresh
+// directory the implementation may populate.
+void exercise_storage_contract(Storage& storage, const std::string& root) {
+  ASSERT_TRUE(storage.open_dir(root).ok());
+  ASSERT_TRUE(storage.open_dir(root).ok()) << "open_dir must be idempotent";
+
+  const std::string path = root + "/file";
+  std::string content;
+
+  // Reading a file that does not exist is NotFound, not a hard error.
+  EXPECT_TRUE(storage.read(path, content).not_found());
+
+  // Write / read round trip, including NUL bytes (records are binary).
+  const std::string data("binary\0payload\xFF", 15);
+  ASSERT_TRUE(storage.write(path, data).ok());
+  ASSERT_TRUE(storage.read(path, content).ok());
+  EXPECT_EQ(content, data);
+  EXPECT_TRUE(storage.sync(path).ok());
+
+  // Overwrite truncates.
+  ASSERT_TRUE(storage.write(path, "short").ok());
+  ASSERT_TRUE(storage.read(path, content).ok());
+  EXPECT_EQ(content, "short");
+
+  // Rename replaces the destination atomically and removes the source.
+  const std::string other = root + "/other";
+  ASSERT_TRUE(storage.write(other, "loser").ok());
+  ASSERT_TRUE(storage.rename(path, other).ok());
+  EXPECT_TRUE(storage.read(path, content).not_found());
+  ASSERT_TRUE(storage.read(other, content).ok());
+  EXPECT_EQ(content, "short");
+
+  // Renaming a missing source is NotFound.
+  EXPECT_TRUE(storage.rename(root + "/missing", other).not_found());
+
+  // Remove, then removing again is NotFound.
+  ASSERT_TRUE(storage.remove(other).ok());
+  EXPECT_TRUE(storage.remove(other).not_found());
+  EXPECT_TRUE(storage.read(other, content).not_found());
+}
+
+TEST(PosixStorage, SatisfiesTheContract) {
+  PosixStorage storage;
+  exercise_storage_contract(storage,
+                            testing::TempDir() + "mtg_storage_contract");
+}
+
+TEST(PosixStorage, OpenDirCreatesNestedDirectories) {
+  PosixStorage storage;
+  const std::string nested = testing::TempDir() + "mtg_nested/a/b/c";
+  ASSERT_TRUE(storage.open_dir(nested).ok());
+  ASSERT_TRUE(storage.write(nested + "/probe", "x").ok());
+  std::string content;
+  ASSERT_TRUE(storage.read(nested + "/probe", content).ok());
+  EXPECT_EQ(content, "x");
+}
+
+TEST(InMemoryStorage, SatisfiesTheContract) {
+  InMemoryStorage storage;
+  exercise_storage_contract(storage, "/mem");
+  EXPECT_TRUE(storage.files().empty()) << "contract ends with an empty root";
+}
+
+// --- FaultInjectedStorage ---------------------------------------------------
+
+TEST(FaultInjection, CountsEveryOperationByType) {
+  InMemoryStorage base;
+  FaultInjectedStorage storage(base);
+  std::string content;
+  storage.open_dir("/d");
+  storage.write("/d/a", "1");
+  storage.write("/d/b", "2");
+  storage.sync("/d/a");
+  storage.read("/d/a", content);
+  storage.rename("/d/a", "/d/c");
+  storage.remove("/d/c");
+  const StorageOpCounts counts = storage.counts();
+  EXPECT_EQ(counts.open_dirs, 1u);
+  EXPECT_EQ(counts.writes, 2u);
+  EXPECT_EQ(counts.syncs, 1u);
+  EXPECT_EQ(counts.reads, 1u);
+  EXPECT_EQ(counts.renames, 1u);
+  EXPECT_EQ(counts.removes, 1u);
+  EXPECT_EQ(counts.total(), 7u);
+  EXPECT_EQ(counts.faults_injected, 0u);
+}
+
+TEST(FaultInjection, TransientFaultHitsExactlyTheKthOperation) {
+  InMemoryStorage base;
+  FaultInjectedStorage storage(base);
+  storage.fail_kth_operation(2, StoreFaultMode::Error, /*sticky=*/false);
+  EXPECT_TRUE(storage.write("/a", "1").ok());        // op 1
+  EXPECT_FALSE(storage.write("/b", "2").ok());       // op 2: injected
+  EXPECT_TRUE(storage.write("/b", "2").ok());        // op 3: recovered
+  EXPECT_EQ(storage.counts().faults_injected, 1u);
+  EXPECT_EQ(base.files().count("/b"), 1u);
+}
+
+TEST(FaultInjection, StickyFaultFailsEverythingFromKOn) {
+  InMemoryStorage base;
+  FaultInjectedStorage storage(base);
+  storage.fail_kth_operation(2, StoreFaultMode::Error, /*sticky=*/true);
+  EXPECT_TRUE(storage.write("/a", "1").ok());
+  std::string content;
+  EXPECT_FALSE(storage.write("/b", "2").ok());
+  EXPECT_FALSE(storage.read("/a", content).ok());
+  EXPECT_FALSE(storage.remove("/a").ok());
+  EXPECT_EQ(storage.counts().faults_injected, 3u);
+  storage.clear_fault();
+  EXPECT_TRUE(storage.read("/a", content).ok());
+}
+
+TEST(FaultInjection, TornWriteErrorPersistsAPrefixAndReportsFailure) {
+  InMemoryStorage base;
+  FaultInjectedStorage storage(base);
+  storage.fail_kth_operation(1, StoreFaultMode::TornWriteError);
+  EXPECT_FALSE(storage.write("/a", "0123456789").ok());
+  EXPECT_EQ(base.files().at("/a"), "01234") << "half the bytes must land";
+}
+
+TEST(FaultInjection, TornWriteSilentPersistsAPrefixButClaimsSuccess) {
+  InMemoryStorage base;
+  FaultInjectedStorage storage(base);
+  storage.fail_kth_operation(1, StoreFaultMode::TornWriteSilent);
+  EXPECT_TRUE(storage.write("/a", "0123456789").ok())
+      << "the firmware lie: success reported, data torn";
+  EXPECT_EQ(base.files().at("/a"), "01234");
+}
+
+TEST(FaultInjection, SilentModeLeavesNonWriteOperationsUnharmed) {
+  InMemoryStorage base;
+  FaultInjectedStorage storage(base);
+  ASSERT_TRUE(storage.write("/a", "x").ok());
+  storage.fail_kth_operation(1, StoreFaultMode::TornWriteSilent);
+  std::string content;
+  EXPECT_TRUE(storage.read("/a", content).ok());
+  EXPECT_EQ(content, "x");
+}
+
+}  // namespace
+}  // namespace mtg

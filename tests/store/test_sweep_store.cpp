@@ -1,0 +1,322 @@
+// SweepStore unit tests: the record codec (every corruption must be caught),
+// the key scheme (every component keys the result), and the degradation
+// ladder (retry → disable → store-less operation, never a crash).
+#include "store/sweep_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "store/fault_injection.hpp"
+#include "store/storage.hpp"
+
+namespace mtg {
+namespace {
+
+CoverageReport sample_report() {
+  CoverageReport report;
+  report.test_name = "March SL";
+  report.list_name = "fault list #2";
+  report.test_complexity = 23;
+  report.entries.push_back(
+      {0, "TF↑→RDF0 [v]", 12, 12, true, ""});
+  report.entries.push_back(
+      {5, "WDF0→WDF1 [v]", 8, 3, false, "escape: cell 7, power-on 0"});
+  report.entries.push_back({17, "plain", 0, 0, false, ""});
+  return report;
+}
+
+SweepKey sample_key() {
+  SweepKey key;
+  key.test_hash = 0x1122334455667788ull;
+  key.list_hash = 0x99AABBCCDDEEFF00ull;
+  key.memory_size = 4096;
+  key.max_instances_per_fault = 256;
+  return key;
+}
+
+void expect_reports_equal(const CoverageReport& a, const CoverageReport& b) {
+  EXPECT_EQ(a.test_name, b.test_name);
+  EXPECT_EQ(a.list_name, b.list_name);
+  EXPECT_EQ(a.test_complexity, b.test_complexity);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].fault_index, b.entries[i].fault_index) << i;
+    EXPECT_EQ(a.entries[i].fault, b.entries[i].fault) << i;
+    EXPECT_EQ(a.entries[i].instances, b.entries[i].instances) << i;
+    EXPECT_EQ(a.entries[i].detected, b.entries[i].detected) << i;
+    EXPECT_EQ(a.entries[i].covered, b.entries[i].covered) << i;
+    EXPECT_EQ(a.entries[i].escape_description, b.entries[i].escape_description)
+        << i;
+  }
+  EXPECT_EQ(a.summary(), b.summary());
+}
+
+// --- codec ------------------------------------------------------------------
+
+TEST(SweepStoreCodec, RoundTripsEveryReportField) {
+  const SweepKey key = sample_key();
+  const CoverageReport report = sample_report();
+  const std::string record = SweepStore::encode_record(key, report);
+  CoverageReport decoded;
+  std::string why;
+  ASSERT_TRUE(SweepStore::decode_record(record, key, decoded, &why)) << why;
+  expect_reports_equal(report, decoded);
+}
+
+TEST(SweepStoreCodec, RoundTripsAnEmptyReport) {
+  const SweepKey key = sample_key();
+  const CoverageReport empty;
+  const std::string record = SweepStore::encode_record(key, empty);
+  CoverageReport decoded;
+  ASSERT_TRUE(SweepStore::decode_record(record, key, decoded));
+  expect_reports_equal(empty, decoded);
+}
+
+TEST(SweepStoreCodec, EveryKeyComponentIsChecked) {
+  const SweepKey key = sample_key();
+  const std::string record =
+      SweepStore::encode_record(key, sample_report());
+  CoverageReport out;
+  std::string why;
+
+  SweepKey other = key;
+  other.test_hash ^= 1;
+  EXPECT_FALSE(SweepStore::decode_record(record, other, out, &why));
+  EXPECT_EQ(why, "key mismatch");
+
+  other = key;
+  other.list_hash ^= 1;
+  EXPECT_FALSE(SweepStore::decode_record(record, other, out));
+
+  other = key;
+  other.memory_size += 1;
+  EXPECT_FALSE(SweepStore::decode_record(record, other, out));
+
+  other = key;
+  other.max_instances_per_fault += 1;
+  EXPECT_FALSE(SweepStore::decode_record(record, other, out));
+
+  // Engine-version invalidation: a record written by engine v never
+  // satisfies a reader expecting v+1.
+  other = key;
+  other.engine_version = kSweepStoreEngineVersion + 1;
+  EXPECT_FALSE(SweepStore::decode_record(record, other, out));
+}
+
+TEST(SweepStoreCodec, EverySingleByteFlipIsDetected) {
+  // The exhaustive bit-rot sweep: flipping any one byte of a record — header,
+  // key, length field, checksum or payload — must make decode fail.  The
+  // header CRC covers the header, the payload CRC the payload; nothing is
+  // outside a checksum.
+  const SweepKey key = sample_key();
+  const std::string record =
+      SweepStore::encode_record(key, sample_report());
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    std::string damaged = record;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x5A);
+    CoverageReport out;
+    EXPECT_FALSE(SweepStore::decode_record(damaged, key, out))
+        << "byte " << i << " of " << record.size()
+        << " flipped but the record still decoded";
+  }
+}
+
+TEST(SweepStoreCodec, EveryTruncationIsDetected) {
+  // A torn write persists an arbitrary prefix; none may decode.
+  const SweepKey key = sample_key();
+  const std::string record =
+      SweepStore::encode_record(key, sample_report());
+  for (std::size_t len = 0; len < record.size(); ++len) {
+    CoverageReport out;
+    EXPECT_FALSE(
+        SweepStore::decode_record(record.substr(0, len), key, out))
+        << "prefix of " << len << " bytes decoded";
+  }
+  // ... and trailing garbage is rejected too.
+  CoverageReport out;
+  EXPECT_FALSE(SweepStore::decode_record(record + "x", key, out));
+}
+
+// --- store behaviour --------------------------------------------------------
+
+SweepStoreOptions fast_options(std::vector<std::string>* warnings = nullptr) {
+  SweepStoreOptions options;
+  options.retry_backoff = std::chrono::milliseconds{0};
+  if (warnings != nullptr) {
+    options.warn = [warnings](const std::string& m) { warnings->push_back(m); };
+  } else {
+    options.warn = [](const std::string&) {};
+  }
+  return options;
+}
+
+TEST(SweepStore, SaveThenLoadIsAHit) {
+  InMemoryStorage mem;
+  SweepStore store(mem, "/store", fast_options());
+  ASSERT_TRUE(store.open());
+  const SweepKey key = sample_key();
+  const CoverageReport report = sample_report();
+  ASSERT_TRUE(store.save(key, report));
+  CoverageReport out;
+  ASSERT_TRUE(store.load(key, out));
+  expect_reports_equal(report, out);
+  const SweepStoreStats stats = store.stats();
+  EXPECT_EQ(stats.saves, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  // The rename protocol leaves no .tmp behind.
+  EXPECT_EQ(mem.files().count(store.record_path(key) + ".tmp"), 0u);
+  EXPECT_EQ(mem.files().count(store.record_path(key)), 1u);
+}
+
+TEST(SweepStore, MissingRecordIsAMiss) {
+  InMemoryStorage mem;
+  SweepStore store(mem, "/store", fast_options());
+  ASSERT_TRUE(store.open());
+  CoverageReport out;
+  EXPECT_FALSE(store.load(sample_key(), out));
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(store.stats().corrupt_records, 0u);
+}
+
+TEST(SweepStore, CorruptRecordIsDetectedSkippedAndRepaired) {
+  InMemoryStorage mem;
+  SweepStore store(mem, "/store", fast_options());
+  ASSERT_TRUE(store.open());
+  const SweepKey key = sample_key();
+  ASSERT_TRUE(store.save(key, sample_report()));
+
+  // Bit rot in place: flip one payload byte of the record file.
+  const std::string path = store.record_path(key);
+  std::string& file = mem.files().at(path);
+  file.back() = static_cast<char>(file.back() ^ 0x01);
+
+  CoverageReport out;
+  EXPECT_FALSE(store.load(key, out)) << "corrupt record returned as a hit";
+  EXPECT_EQ(store.stats().corrupt_records, 1u);
+  EXPECT_EQ(store.stats().misses, 1u);
+  // Repair: the damaged file is gone; the next save writes a fresh one and
+  // the next load hits again.
+  EXPECT_EQ(mem.files().count(path), 0u);
+  ASSERT_TRUE(store.save(key, sample_report()));
+  EXPECT_TRUE(store.load(key, out));
+}
+
+TEST(SweepStore, TruncatedRecordIsCorruptNotACrash) {
+  InMemoryStorage mem;
+  SweepStore store(mem, "/store", fast_options());
+  ASSERT_TRUE(store.open());
+  const SweepKey key = sample_key();
+  ASSERT_TRUE(store.save(key, sample_report()));
+  const std::string path = store.record_path(key);
+  std::string& file = mem.files().at(path);
+  file.resize(file.size() / 2);  // a torn write's half record
+  CoverageReport out;
+  EXPECT_FALSE(store.load(key, out));
+  EXPECT_EQ(store.stats().corrupt_records, 1u);
+  EXPECT_EQ(mem.files().count(path), 0u);
+}
+
+TEST(SweepStore, StaleKeyInABucketIsAKeyMismatch) {
+  // Two keys whose record paths collide cannot both be cached; the resident
+  // record must be recognized as "not mine" (counted separately from
+  // corruption) and never served.  Simulate by copying key A's record into
+  // key B's path.
+  InMemoryStorage mem;
+  SweepStore store(mem, "/store", fast_options());
+  ASSERT_TRUE(store.open());
+  const SweepKey a = sample_key();
+  SweepKey b = sample_key();
+  b.memory_size = 65536;
+  ASSERT_TRUE(store.save(a, sample_report()));
+  mem.files()[store.record_path(b)] = mem.files().at(store.record_path(a));
+
+  CoverageReport out;
+  EXPECT_FALSE(store.load(b, out));
+  EXPECT_EQ(store.stats().key_mismatches, 1u);
+  EXPECT_EQ(store.stats().corrupt_records, 0u);
+}
+
+TEST(SweepStore, RemovePunchesAHole) {
+  InMemoryStorage mem;
+  SweepStore store(mem, "/store", fast_options());
+  ASSERT_TRUE(store.open());
+  const SweepKey key = sample_key();
+  ASSERT_TRUE(store.save(key, sample_report()));
+  EXPECT_TRUE(store.remove(key));
+  EXPECT_FALSE(store.remove(key)) << "second remove finds nothing";
+  CoverageReport out;
+  EXPECT_FALSE(store.load(key, out));
+}
+
+TEST(SweepStore, TransientWriteFailureIsRetriedAndSucceeds) {
+  InMemoryStorage mem;
+  FaultInjectedStorage faulty(mem);
+  std::vector<std::string> warnings;
+  SweepStore store(faulty, "/store", fast_options(&warnings));
+  ASSERT_TRUE(store.open());
+  // Scheduling resets the op counter: op 1 is save's first write.  It fails
+  // once (transient); the retry succeeds.
+  faulty.fail_kth_operation(1, StoreFaultMode::Error, /*sticky=*/false);
+  const SweepKey key = sample_key();
+  EXPECT_TRUE(store.save(key, sample_report()));
+  EXPECT_TRUE(store.enabled());
+  EXPECT_EQ(store.stats().saves, 1u);
+  EXPECT_GE(store.stats().save_retries, 1u);
+  EXPECT_EQ(store.stats().save_failures, 0u);
+  EXPECT_TRUE(warnings.empty());
+  CoverageReport out;
+  EXPECT_TRUE(store.load(key, out));
+}
+
+TEST(SweepStore, ExhaustedRetriesDegradeToStoreLessOperationWithWarning) {
+  InMemoryStorage mem;
+  FaultInjectedStorage faulty(mem);
+  std::vector<std::string> warnings;
+  SweepStore store(faulty, "/store", fast_options(&warnings));
+  ASSERT_TRUE(store.open());
+  faulty.fail_kth_operation(1, StoreFaultMode::Error, /*sticky=*/true);
+
+  const SweepKey key = sample_key();
+  EXPECT_FALSE(store.save(key, sample_report()));
+  EXPECT_FALSE(store.enabled()) << "store must disable itself";
+  EXPECT_EQ(store.stats().save_failures, 1u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("store"), std::string::npos);
+
+  // Disabled store: every later call is a cheap no-op, not an I/O storm.
+  faulty.reset_counts();
+  CoverageReport out;
+  EXPECT_FALSE(store.load(key, out));
+  EXPECT_FALSE(store.save(key, sample_report()));
+  EXPECT_EQ(faulty.counts().total(), 0u);
+}
+
+TEST(SweepStore, FailedOpenDisablesTheStore) {
+  InMemoryStorage mem;
+  FaultInjectedStorage faulty(mem);
+  std::vector<std::string> warnings;
+  SweepStore store(faulty, "/store", fast_options(&warnings));
+  faulty.fail_kth_operation(1, StoreFaultMode::Error, /*sticky=*/true);
+  EXPECT_FALSE(store.open());
+  EXPECT_FALSE(store.enabled());
+  EXPECT_EQ(warnings.size(), 1u);
+}
+
+TEST(SweepStore, RecordPathIsStableAndKeyDependent) {
+  InMemoryStorage mem;
+  SweepStore store(mem, "/store", fast_options());
+  const SweepKey key = sample_key();
+  const std::string path = store.record_path(key);
+  EXPECT_EQ(path, store.record_path(key));
+  EXPECT_EQ(path.rfind("/store/sweep-", 0), 0u) << path;
+  EXPECT_EQ(path.substr(path.size() - 4), ".rec");
+  SweepKey other = key;
+  other.memory_size += 1;
+  EXPECT_NE(store.record_path(other), path);
+}
+
+}  // namespace
+}  // namespace mtg
