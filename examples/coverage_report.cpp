@@ -6,9 +6,9 @@
 // Prints, for each catalog test and each fault list, the fault coverage the
 // simulator measures, mirroring the validation flow the paper applies to its
 // generated tests (Section 6).
-#include <cstdlib>
 #include <iostream>
 
+#include "common/parse.hpp"
 #include "fp/fault_list.hpp"
 #include "march/catalog.hpp"
 #include "sim/coverage.hpp"
@@ -17,7 +17,12 @@ int main(int argc, char** argv) {
   using namespace mtg;
 
   std::size_t memory_size = 5;
-  if (argc > 1) memory_size = static_cast<std::size_t>(std::atoi(argv[1]));
+  try {
+    if (argc > 1) memory_size = parse_memory_size(argv[1], "memory size");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 
   const FaultSimulator simulator(SimulatorOptions{memory_size, true, 10});
 

@@ -3,9 +3,10 @@
 // (the rows of Table 1).
 //
 // Usage: generate_linked_tests [list#]   (default: both)
-#include <cstdlib>
 #include <iostream>
 
+#include "common/error.hpp"
+#include "common/parse.hpp"
 #include "fp/fault_list.hpp"
 #include "gen/generator.hpp"
 #include "march/catalog.hpp"
@@ -60,15 +61,27 @@ void run(const mtg::FaultList& list, const std::vector<mtg::MarchTest>& baseline
 
 int main(int argc, char** argv) {
   using namespace mtg;
-  const int which = argc > 1 ? std::atoi(argv[1]) : 0;
-  GeneratorOptions options;
-  if (argc > 2) options.working_memory_size = std::atoi(argv[2]);
-  if (argc > 3) options.max_element_length = std::atoi(argv[3]);
-  if (which == 0 || which == 2) {
-    run(fault_list_2(), {march_lf1(), march_abl1()}, options);
+  try {
+    const std::size_t which =
+        argc > 1 ? parse_count(argv[1], "list selector") : 0;
+    if (which > 2) throw Error("list selector: use 0 (both), 1 or 2");
+    GeneratorOptions options;
+    if (argc > 2) {
+      options.working_memory_size =
+          parse_memory_size(argv[2], "working memory size");
+    }
+    if (argc > 3) {
+      options.max_element_length = parse_count(argv[3], "max element length");
+    }
+    if (which == 0 || which == 2) {
+      run(fault_list_2(), {march_lf1(), march_abl1()}, options);
+    }
+    if (which == 0 || which == 1) {
+      run(fault_list_1(), {march_sl(), march_abl(), march_rabl()}, options);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-  if (which == 0 || which == 1) {
-    run(fault_list_1(), {march_sl(), march_abl(), march_rabl()}, options);
-  }
-  return 0;
 }

@@ -2,23 +2,34 @@
 //
 //   mtg_cli catalog
 //       list the published march tests with complexity
-//   mtg_cli lists
-//       show the built-in fault lists and their sizes
+//   mtg_cli lists [--list-file <path>] [--suite-file <path>]
+//       show the built-in fault lists and their sizes; with --list-file /
+//       --suite-file, also summarize the external catalog file(s)
 //   mtg_cli generate <list1|list2|simple|retention|decoder> [--stats]
-//       generate a march test for a built-in fault list; --stats prints the
-//       per-phase timing breakdown and the generation lap log
-//   mtg_cli coverage "<march notation>" <list1|list2|simple|retention|decoder> [n]
-//       fault-simulate a march test (e.g. "{c(w0); ^(r0,w1); v(r1,w0)}")
-//   mtg_cli coverage "<march notation>" <list> --sweep 64,256,4096,65536
+//   mtg_cli generate --list-file <path> [--stats]
+//       generate a march test for a built-in or external fault list; --stats
+//       prints the per-phase timing breakdown and the generation lap log
+//   mtg_cli coverage [<test>] <list> [n]
+//       fault-simulate a march test against a built-in fault list.  <test>
+//       is march notation (e.g. "{c(w0); ^(r0,w1); v(r1,w0)}"), a catalog
+//       test name (e.g. "March SL"), or — with --suite-file — a test name
+//       from the external suite; omitted, it defaults to March SL
+//   mtg_cli coverage ... --list-file <path>
+//       target an external fault list (format/fault_list_text.hpp: simple,
+//       linked and decoder sections) instead of a built-in one
+//   mtg_cli coverage ... --suite-file <path>
+//       resolve <test> by name from an external march-test suite
+//   mtg_cli coverage ... --sweep 64,256,4096,65536 [--cap k]
 //       memory-size sweep: coverage at every listed n, evaluated in
 //       parallel; per-fault layouts are capped (deterministically sampled)
-//       above --cap instances (default 4096, 0 = full enumeration).  The
-//       decoder list is the one whose curve varies with n.
+//       above --cap instances (default 4096, 0 = full enumeration)
 //   mtg_cli coverage ... --store <dir>
-//       persistent result cache (store/sweep_store.hpp): completed points
-//       are persisted as they land and verified hits skip recomputation on
-//       re-runs.  A missing/damaged/read-only store degrades to plain
-//       recomputation with a warning — results are identical either way.
+//       persistent result cache (store/sweep_store.hpp): external catalogs
+//       key by the same canonical-serialization hashes as built-ins, so
+//       re-runs hit the store (0 points evaluated) with no schema change
+//   mtg_cli check <path>...
+//       parse catalog files (fault lists or suites), reporting
+//       path:line:column-annotated errors; the CI catalog-rot guard
 //   mtg_cli dot <g0|pgcf>
 //       print the Figure 2 / Figure 4 graph as GraphViz DOT
 #include <algorithm>
@@ -28,6 +39,7 @@
 #include <vector>
 
 #include "common/parse.hpp"
+#include "format/catalog_io.hpp"
 #include "fp/fault_list.hpp"
 #include "gen/generator.hpp"
 #include "march/catalog.hpp"
@@ -51,6 +63,32 @@ FaultList list_by_name(const std::string& name) {
               "' (use list1, list2, simple, retention or decoder)");
 }
 
+/// Resolves the coverage test spec: march notation when it contains an
+/// element (a '(' is never part of a name), otherwise a test name looked up
+/// in the external suite (when given) and then in the built-in catalog.
+MarchTest resolve_test(const std::string& spec, const MarchSuite* suite) {
+  if (spec.find('(') != std::string::npos) {
+    return parse_march_test(spec, "cli test");
+  }
+  if (suite != nullptr) {
+    if (const MarchTest* test = suite->find(spec)) return *test;
+  }
+  for (const MarchTest& test : all_catalog_tests()) {
+    if (test.name() == spec) return test;
+  }
+  std::string message = "unknown test name '" + spec + "'";
+  if (suite != nullptr) {
+    message += "; the suite defines:";
+    for (const MarchTest& test : suite->tests) {
+      message += " \"" + test.name() + "\"";
+    }
+  }
+  message +=
+      " (pass a catalog test name or march notation like "
+      "\"{c(w0); ^(r0,w1); v(r1,w0)}\")";
+  throw Error(message);
+}
+
 int cmd_catalog() {
   for (const MarchTest& test : all_catalog_tests()) {
     std::cout << test.name() << " (" << test.complexity_label() << "): "
@@ -59,19 +97,32 @@ int cmd_catalog() {
   return 0;
 }
 
-int cmd_lists() {
+void print_list_summary(const std::string& label, const FaultList& list) {
+  std::cout << label << ": " << list.name << " — " << list.size()
+            << " faults (" << list.simple.size() << " simple, "
+            << list.linked.size() << " linked, " << list.decoder.size()
+            << " decoder)\n";
+}
+
+int cmd_lists(const std::string& list_file, const std::string& suite_file) {
   for (const char* name : {"list1", "list2", "simple", "retention", "decoder"}) {
-    const FaultList list = list_by_name(name);
-    std::cout << name << ": " << list.name << " — " << list.size()
-              << " faults (" << list.simple.size() << " simple, "
-              << list.linked.size() << " linked, " << list.decoder.size()
-              << " decoder)\n";
+    print_list_summary(name, list_by_name(name));
+  }
+  if (!list_file.empty()) {
+    print_list_summary(list_file, load_fault_list_file(list_file));
+  }
+  if (!suite_file.empty()) {
+    const MarchSuite suite = load_march_suite_file(suite_file);
+    std::cout << suite_file << ": " << suite.size() << " tests\n";
+    for (const MarchTest& test : suite.tests) {
+      std::cout << "  " << test.name() << " (" << test.complexity_label()
+                << "): " << test.to_string() << "\n";
+    }
   }
   return 0;
 }
 
-int cmd_generate(const std::string& list_name, bool stats) {
-  const FaultList list = list_by_name(list_name);
+int cmd_generate(const FaultList& list, bool stats) {
   const GenerationResult result = generate_march_test(list);
   std::cout << result.test.to_string() << "\n"
             << "complexity: " << result.test.complexity_label() << "\n"
@@ -112,11 +163,9 @@ void print_store_stats(const SweepStore& store, const std::string& path) {
   std::cout << "\n";
 }
 
-int cmd_sweep(const std::string& notation, const std::string& list_name,
+int cmd_sweep(const MarchTest& test, const FaultList& list,
               const std::string& size_list, std::size_t cap,
               const std::string& store_path) {
-  const MarchTest test = parse_march_test(notation, "cli test");
-  const FaultList list = list_by_name(list_name);
   SweepOptions options;
   options.max_instances_per_fault = cap;
   PosixStorage storage;
@@ -139,7 +188,11 @@ int cmd_sweep(const std::string& notation, const std::string& list_name,
     std::cout << "n=" << point.memory_size << ": "
               << point.report.summary() << "\n";
   }
-  if (store.has_value()) print_store_stats(*store, store_path);
+  if (store.has_value()) {
+    std::cout << "points evaluated: " << sweep_points_evaluated(points)
+              << " of " << points.size() << "\n";
+    print_store_stats(*store, store_path);
+  }
   const bool all_covered =
       std::all_of(points.begin(), points.end(), [](const SweepPoint& p) {
         return p.report.full_coverage();
@@ -147,10 +200,8 @@ int cmd_sweep(const std::string& notation, const std::string& list_name,
   return all_covered ? 0 : 1;
 }
 
-int cmd_coverage(const std::string& notation, const std::string& list_name,
-                 std::size_t n, const std::string& store_path) {
-  const MarchTest test = parse_march_test(notation, "cli test");
-  const FaultList list = list_by_name(list_name);
+int cmd_coverage(const MarchTest& test, const FaultList& list, std::size_t n,
+                 const std::string& store_path) {
   if (!store_path.empty()) {
     // Route through the sweep path so the single point reads/writes the
     // store like any grid cell.  Full enumeration (cap 0) matches the
@@ -173,6 +224,20 @@ int cmd_coverage(const std::string& notation, const std::string& list_name,
   return report.full_coverage() ? 0 : 1;
 }
 
+int cmd_check(const std::vector<std::string>& paths) {
+  bool all_ok = true;
+  for (const std::string& path : paths) {
+    try {
+      const std::string summary = check_catalog_file(path);
+      std::cout << "ok " << path << ": " << summary << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
 int cmd_dot(const std::string& which) {
   if (which == "g0") {
     std::cout << make_g0().to_dot("G0");
@@ -186,18 +251,28 @@ int cmd_dot(const std::string& which) {
 }
 
 int usage() {
-  std::cerr << "usage:\n"
-            << "  mtg_cli catalog\n"
-            << "  mtg_cli lists\n"
-            << "  mtg_cli generate <list1|list2|simple|retention|decoder> "
-               "[--stats]\n"
-            << "  mtg_cli coverage \"<march notation>\" "
-               "<list1|list2|simple|retention|decoder> [n] [--store <dir>]\n"
-            << "  mtg_cli coverage \"<march notation>\" <list> "
-               "--sweep <n1,n2,...> [--cap <instances-per-fault>] "
-               "[--store <dir>]\n"
-            << "  mtg_cli dot <g0|pgcf>\n";
+  std::cerr
+      << "usage:\n"
+      << "  mtg_cli catalog\n"
+      << "  mtg_cli lists [--list-file <path>] [--suite-file <path>]\n"
+      << "  mtg_cli generate <list1|list2|simple|retention|decoder> "
+         "[--stats]\n"
+      << "  mtg_cli generate --list-file <path> [--stats]\n"
+      << "  mtg_cli coverage [<test>] <list> [n] [--store <dir>]\n"
+      << "  mtg_cli coverage [<test>] <list> --sweep <n1,n2,...> "
+         "[--cap <instances-per-fault>] [--store <dir>]\n"
+      << "    <test>: march notation, a catalog test name, or (with "
+         "--suite-file) a suite\n"
+      << "    test name; defaults to \"March SL\" when omitted\n"
+      << "    <list>: a built-in list name, or --list-file <path> instead\n"
+      << "  mtg_cli check <path>...\n"
+      << "  mtg_cli dot <g0|pgcf>\n";
   return 2;
+}
+
+bool all_digits(const std::string& text) {
+  return !text.empty() &&
+         text.find_first_not_of("0123456789") == std::string::npos;
 }
 
 }  // namespace
@@ -206,36 +281,100 @@ int main(int argc, char** argv) {
   try {
     const std::string command = argc > 1 ? argv[1] : "";
     if (command == "catalog") return cmd_catalog();
-    if (command == "lists") return cmd_lists();
-    if (command == "generate" && argc > 2) {
-      const bool stats = argc > 3 && std::string(argv[3]) == "--stats";
-      if (argc > (stats ? 4 : 3)) return usage();
-      return cmd_generate(argv[2], stats);
+    if (command == "check" && argc > 2) {
+      return cmd_check(std::vector<std::string>(argv + 2, argv + argc));
     }
-    if (command == "coverage" && argc > 3) {
-      std::string sweep_sizes;
-      std::string store_path;
+    if (command == "lists" || command == "generate" || command == "coverage") {
+      // Shared flag/positional split for the catalog-aware commands.
+      std::vector<std::string> positional;
+      std::string list_file, suite_file, sweep_sizes, store_path;
       std::size_t cap = 4096;
-      std::optional<std::size_t> n;
-      for (int i = 4; i < argc; ++i) {
+      bool stats = false;
+      for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--sweep" && i + 1 < argc) {
+        if (arg == "--list-file" && i + 1 < argc) {
+          list_file = argv[++i];
+        } else if (arg == "--suite-file" && i + 1 < argc) {
+          suite_file = argv[++i];
+        } else if (arg == "--sweep" && i + 1 < argc) {
           sweep_sizes = argv[++i];
         } else if (arg == "--cap" && i + 1 < argc) {
           cap = parse_count(argv[++i], "--cap");
         } else if (arg == "--store" && i + 1 < argc) {
           store_path = argv[++i];
-        } else if (!n.has_value() && !arg.empty() && arg[0] != '-') {
-          n = parse_memory_size(arg, "memory size");
+        } else if (arg == "--stats") {
+          stats = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+          return usage();
         } else {
+          positional.push_back(arg);
+        }
+      }
+
+      if (command == "lists") {
+        if (!positional.empty() || stats) return usage();
+        return cmd_lists(list_file, suite_file);
+      }
+
+      if (command == "generate") {
+        if (positional.size() != (list_file.empty() ? 1 : 0)) return usage();
+        const FaultList list = list_file.empty()
+                                   ? list_by_name(positional[0])
+                                   : load_fault_list_file(list_file);
+        return cmd_generate(list, stats);
+      }
+
+      // coverage: positionals are [<test>] <list> [n], where <list> moves to
+      // --list-file when given and [n] conflicts with --sweep.
+      if (stats) return usage();
+      std::optional<MarchSuite> suite;
+      if (!suite_file.empty()) suite = load_march_suite_file(suite_file);
+
+      std::string test_spec;
+      std::string list_name;
+      std::optional<std::size_t> n;
+      std::vector<std::string> rest = positional;
+      if (list_file.empty()) {
+        // <test> <list> [n] — but tolerate a leading-list-only spelling
+        // ("coverage list1") by treating a lone built-in list name as the
+        // list with the default test.
+        if (rest.empty()) return usage();
+        if (rest.size() == 1) {
+          list_name = rest[0];
+        } else {
+          test_spec = rest[0];
+          list_name = rest[1];
+          if (rest.size() == 3) {
+            n = parse_memory_size(rest[2], "memory size");
+          } else if (rest.size() > 3) {
+            return usage();
+          }
+        }
+      } else {
+        // [<test>] [n]
+        if (rest.size() == 1) {
+          (all_digits(rest[0]) ? void(n = parse_memory_size(rest[0],
+                                                            "memory size"))
+                               : void(test_spec = rest[0]));
+        } else if (rest.size() == 2) {
+          test_spec = rest[0];
+          n = parse_memory_size(rest[1], "memory size");
+        } else if (rest.size() > 2) {
           return usage();
         }
       }
+
+      const FaultList list = list_file.empty() ? list_by_name(list_name)
+                                               : load_fault_list_file(list_file);
+      const MarchTest test = test_spec.empty()
+                                 ? march_sl()
+                                 : resolve_test(test_spec, suite ? &*suite
+                                                                 : nullptr);
       if (!sweep_sizes.empty()) {
         if (n.has_value()) return usage();  // [n] is the non-sweep form
-        return cmd_sweep(argv[2], argv[3], sweep_sizes, cap, store_path);
+        return cmd_sweep(test, list, sweep_sizes, cap, store_path);
       }
-      return cmd_coverage(argv[2], argv[3], n.value_or(6), store_path);
+      return cmd_coverage(test, list, n.value_or(6), store_path);
     }
     if (command == "dot" && argc > 2) return cmd_dot(argv[2]);
     return usage();

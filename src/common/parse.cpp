@@ -1,5 +1,7 @@
 #include "common/parse.hpp"
 
+#include <limits>
+
 #include "common/error.hpp"
 
 namespace mtg {
@@ -9,11 +11,19 @@ std::size_t parse_count(const std::string& text, const std::string& what) {
       !text.empty() &&
       text.find_first_not_of("0123456789") == std::string::npos;
   if (!all_digits) throw Error(what + ": bad number '" + text + "'");
+  // std::stoull, not std::stoul: unsigned long is 32-bit on LLP64 platforms,
+  // where stoul would spuriously reject large-but-valid std::size_t counts.
+  // The explicit range check covers the opposite layout (32-bit size_t).
+  unsigned long long value = 0;
   try {
-    return std::stoul(text);
+    value = std::stoull(text);
   } catch (const std::exception&) {  // out of range
     throw Error(what + ": number out of range '" + text + "'");
   }
+  if (value > std::numeric_limits<std::size_t>::max()) {
+    throw Error(what + ": number out of range '" + text + "'");
+  }
+  return static_cast<std::size_t>(value);
 }
 
 std::size_t parse_memory_size(const std::string& text,

@@ -1,0 +1,40 @@
+#include "common/text_position.hpp"
+
+namespace mtg {
+
+std::string TextPosition::to_string() const {
+  return "line " + std::to_string(line) + ", column " + std::to_string(column);
+}
+
+TextPosition position_at(std::string_view text, std::size_t offset,
+                         TextPosition origin) {
+  if (offset > text.size()) offset = text.size();
+  std::size_t line = 0;           // newlines seen before `offset`
+  std::size_t line_start = 0;     // offset of the current line's first byte
+  for (std::size_t i = 0; i < offset; ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      line_start = i + 1;
+    }
+  }
+  TextPosition result;
+  result.line = origin.line + line;
+  const std::size_t column_in_line = offset - line_start + 1;
+  // The origin column only shifts positions on the origin's own line.
+  result.column =
+      line == 0 ? origin.column + (column_in_line - 1) : column_in_line;
+  return result;
+}
+
+std::string_view line_excerpt(std::string_view text, std::size_t offset) {
+  if (offset > text.size()) offset = text.size();
+  std::size_t begin = text.rfind('\n', offset == 0 ? 0 : offset - 1);
+  begin = (begin == std::string_view::npos || offset == 0) ? 0 : begin + 1;
+  std::size_t end = text.find('\n', offset);
+  if (end == std::string_view::npos) end = text.size();
+  // Tolerate CRLF input: the excerpt should not drag the '\r' along.
+  if (end > begin && text[end - 1] == '\r') --end;
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace mtg

@@ -1,0 +1,77 @@
+// Line/column positions for text diagnostics.
+//
+// Everything that parses user-supplied text (the march notation parser, the
+// fault-list / march-suite catalog readers under src/format/) reports errors
+// through ParseError, which carries a structured 1-based line:column position
+// next to the formatted message.  Positions are *byte* columns: multi-byte
+// UTF-8 sequences (the march arrows ⇑⇓⇕) count one column per byte, which is
+// what editors' goto-offset commands and `awk`-style tooling expect from
+// plain-text files.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace mtg {
+
+/// A 1-based line/column position inside a text document.  The default
+/// {1, 1} names the first byte; parsers embedded into a larger document
+/// (e.g. a march notation substring on line 7 of a suite file) are seeded
+/// with the position of their first byte so their diagnostics come out in
+/// whole-document coordinates.
+struct TextPosition {
+  std::size_t line = 1;
+  std::size_t column = 1;
+
+  /// "line 3, column 14" (human form; the machine form is "3:14").
+  std::string to_string() const;
+
+  friend bool operator==(const TextPosition& a, const TextPosition& b) {
+    return a.line == b.line && a.column == b.column;
+  }
+  friend bool operator!=(const TextPosition& a, const TextPosition& b) {
+    return !(a == b);
+  }
+};
+
+/// Position of byte `offset` within `text`, assuming `text` itself starts at
+/// `origin`.  Offsets past the end name the one-past-last position.
+TextPosition position_at(std::string_view text, std::size_t offset,
+                         TextPosition origin = {});
+
+/// The full line of `text` containing byte `offset` (no trailing newline),
+/// for error excerpts.  Only exact for offsets on the first line when the
+/// text is a mid-line substring of a larger document — callers embedding
+/// substrings should excerpt from the enclosing document instead.
+std::string_view line_excerpt(std::string_view text, std::size_t offset);
+
+/// A malformed-input error carrying a structured position.  what() is the
+/// fully formatted human-readable message (position and excerpt included);
+/// detail() is the bare explanation, so wrappers that re-anchor the error
+/// into an enclosing document (march notation inside a suite file) can
+/// re-format without duplicating position text.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& formatted, std::string detail,
+             TextPosition position, std::size_t offset)
+      : Error(formatted),
+        detail_(std::move(detail)),
+        position_(position),
+        offset_(offset) {}
+
+  const std::string& detail() const noexcept { return detail_; }
+  const TextPosition& position() const noexcept { return position_; }
+  /// Byte offset into the directly parsed text (the element substring for
+  /// march notation) — kept alongside line:column for tooling that seeks.
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::string detail_;
+  TextPosition position_;
+  std::size_t offset_;
+};
+
+}  // namespace mtg

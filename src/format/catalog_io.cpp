@@ -1,0 +1,73 @@
+#include "format/catalog_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "format/reader.hpp"
+
+namespace mtg {
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    throw Error("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw Error("I/O error while reading '" + path + "'");
+  }
+  return std::move(buffer).str();
+}
+
+CatalogKind detect_catalog_kind(std::string_view text,
+                                const std::string& source) {
+  LineReader reader(text, source);
+  if (!reader.next()) {
+    reader.fail_at_end(
+        "empty document: expected a 'faultlist v1' or 'suite v1' header");
+  }
+  if (reader.line() == "faultlist v1") return CatalogKind::FaultListFile;
+  if (reader.line() == "suite v1") return CatalogKind::SuiteFile;
+  reader.fail(1, "unrecognized catalog header '" + std::string(reader.line()) +
+                     "' (expected 'faultlist v1' or 'suite v1')");
+}
+
+FaultList load_fault_list_file(const std::string& path) {
+  return parse_fault_list_text(read_text_file(path), path);
+}
+
+MarchSuite load_march_suite_file(const std::string& path) {
+  return parse_march_suite_text(read_text_file(path), path);
+}
+
+std::string check_catalog_file(const std::string& path) {
+  const std::string text = read_text_file(path);
+  std::ostringstream out;
+  switch (detect_catalog_kind(text, path)) {
+    case CatalogKind::FaultListFile: {
+      const FaultList list = parse_fault_list_text(text, path);
+      out << "fault list";
+      if (!list.name.empty()) out << " \"" << list.name << "\"";
+      out << ": " << list.size() << " faults (" << list.simple.size()
+          << " simple, " << list.linked.size() << " linked, "
+          << list.decoder.size() << " decoder)";
+      break;
+    }
+    case CatalogKind::SuiteFile: {
+      const MarchSuite suite = parse_march_suite_text(text, path);
+      out << "march suite: " << suite.size() << " tests (";
+      for (std::size_t i = 0; i < suite.tests.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << suite.tests[i].name() << " "
+            << suite.tests[i].complexity_label();
+      }
+      out << ")";
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mtg

@@ -1,0 +1,42 @@
+// File loading and kind detection for the catalog text formats.
+//
+// One stop for CLI front ends: read a file, detect whether it is a fault
+// list ('faultlist v1') or a march suite ('suite v1') from its first
+// significant line, and parse it with path-prefixed line:column diagnostics
+// ("examples/catalogs/custom.faults:12:9: ...").
+#pragma once
+
+#include <string>
+
+#include "format/fault_list_text.hpp"
+#include "format/suite_text.hpp"
+
+namespace mtg {
+
+/// Reads a whole file into memory; throws mtg::Error naming the path on any
+/// I/O failure (missing file, unreadable directory, read error).
+std::string read_text_file(const std::string& path);
+
+enum class CatalogKind {
+  FaultListFile,  ///< starts with 'faultlist v1'
+  SuiteFile,      ///< starts with 'suite v1'
+};
+
+/// Detects the catalog kind from the first significant line.  Throws
+/// mtg::ParseError when the document matches neither header.
+CatalogKind detect_catalog_kind(std::string_view text,
+                                const std::string& source = "<string>");
+
+/// read_text_file + parse_fault_list_text with the path as the source name.
+FaultList load_fault_list_file(const std::string& path);
+
+/// read_text_file + parse_march_suite_text with the path as the source name.
+MarchSuite load_march_suite_file(const std::string& path);
+
+/// Parses `path` as whichever catalog kind its header announces; returns a
+/// one-line human-readable summary ("fault list: 12 faults (...)").  Throws
+/// on I/O or parse errors — the CLI 'check' verb and the CI catalog-rot
+/// guard are built on this.
+std::string check_catalog_file(const std::string& path);
+
+}  // namespace mtg

@@ -1,0 +1,192 @@
+#include "format/fault_list_text.hpp"
+
+#include <regex>
+#include <string>
+
+#include "common/error.hpp"
+#include "format/reader.hpp"
+
+namespace mtg {
+namespace {
+
+// One pattern per record type, matched against the whole (trimmed) line;
+// capture positions yield the column of the offending field.
+// clang-format off
+const std::regex re_simple{
+//  simple <0w1/0/-> a_pos=-1 v_pos=0
+    R"(simple[ \t]+(<[^<>]*>)[ \t]+a_pos=(-?[0-9]+)[ \t]+v_pos=(-?[0-9]+))"};
+const std::regex re_linked{
+//  linked <0w0;0/1/-> -> <1;0w0/1/-> cells=2 a1=0 a2=-1 v=1
+    R"(linked[ \t]+(<[^<>]*>)[ \t]+->[ \t]+(<[^<>]*>)[ \t]+cells=(-?[0-9]+)[ \t]+a1=(-?[0-9]+)[ \t]+a2=(-?[0-9]+)[ \t]+v=(-?[0-9]+))"};
+const std::regex re_decoder{
+//  decoder cls=2 bit=3 wired=1
+    R"(decoder[ \t]+cls=(-?[0-9]+)[ \t]+bit=(-?[0-9]+)[ \t]+wired=(-?[0-9]+))"};
+// clang-format on
+
+/// 1-based column of capture group `group` within the current line.
+std::size_t group_column(const std::cmatch& match, std::size_t group) {
+  return static_cast<std::size_t>(match.position(group)) + 1;
+}
+
+/// Parses capture `group` as an integer in [min, max]; fails at its column.
+long long record_int(const LineReader& reader, const std::cmatch& match,
+                     std::size_t group, long long min, long long max,
+                     const char* field) {
+  const std::string digits = match.str(group);
+  long long value = 0;
+  try {
+    value = std::stoll(digits);
+  } catch (const std::exception&) {
+    reader.fail(group_column(match, group),
+                std::string(field) + " out of range: '" + digits + "'");
+  }
+  if (value < min || value > max) {
+    reader.fail(group_column(match, group),
+                std::string(field) + " must be in [" + std::to_string(min) +
+                    ", " + std::to_string(max) + "], got " + digits);
+  }
+  return value;
+}
+
+/// Parses capture `group` as FP notation; re-anchors sub-token errors.
+FaultPrimitive record_fp(const LineReader& reader, const std::cmatch& match,
+                         std::size_t group) {
+  const std::string token = match.str(group);
+  try {
+    return FaultPrimitive::from_notation(token);
+  } catch (const ParseError& e) {
+    reader.fail(group_column(match, group) + e.offset(), e.detail());
+  }
+}
+
+bool match_record(const LineReader& reader, std::string_view keyword,
+                  const std::regex& pattern, std::cmatch& match,
+                  const char* expected_shape) {
+  const std::string_view line = reader.line();
+  const std::string_view first = line.substr(0, line.find_first_of(" \t"));
+  if (first != keyword) return false;
+  if (!std::regex_match(line.data(), line.data() + line.size(), match,
+                        pattern)) {
+    reader.fail(1, "malformed '" + std::string(keyword) +
+                       "' record; expected: " + expected_shape);
+  }
+  return true;
+}
+
+void read_simple(const LineReader& reader, FaultList& list,
+                 const std::cmatch& match) {
+  const FaultPrimitive fp = record_fp(reader, match, 1);
+  const long long a_pos = record_int(reader, match, 2, -1, 1, "a_pos");
+  const long long v_pos = record_int(reader, match, 3, 0, 1, "v_pos");
+  // Rebuild through the factories so the derived display name matches the
+  // built-in lists byte for byte.
+  if (!fp.is_two_cell()) {
+    if (a_pos != -1) {
+      reader.fail(group_column(match, 2),
+                  "a single-cell simple fault has no aggressor (a_pos=-1)");
+    }
+    if (v_pos != 0) {
+      reader.fail(group_column(match, 3),
+                  "a single-cell simple fault occupies position 0 (v_pos=0)");
+    }
+    list.simple.push_back(SimpleFault::single(fp));
+    return;
+  }
+  if (!((a_pos == 0 && v_pos == 1) || (a_pos == 1 && v_pos == 0))) {
+    reader.fail(group_column(match, 2),
+                "a two-cell simple fault needs {a_pos, v_pos} = {0, 1}");
+  }
+  list.simple.push_back(SimpleFault::coupled(fp, /*aggressor_below=*/a_pos == 0));
+}
+
+void read_linked(const LineReader& reader, FaultList& list,
+                 const std::cmatch& match) {
+  const FaultPrimitive fp1 = record_fp(reader, match, 1);
+  const FaultPrimitive fp2 = record_fp(reader, match, 2);
+  LinkedLayout layout;
+  layout.num_cells = static_cast<std::uint8_t>(
+      record_int(reader, match, 3, 1, 3, "cells"));
+  layout.a1_pos =
+      static_cast<std::int8_t>(record_int(reader, match, 4, -1, 2, "a1"));
+  layout.a2_pos =
+      static_cast<std::int8_t>(record_int(reader, match, 5, -1, 2, "a2"));
+  layout.v_pos =
+      static_cast<std::uint8_t>(record_int(reader, match, 6, 0, 2, "v"));
+  // The LinkedFault constructor re-validates the layout coherence and the
+  // Definition 6/7 linking conditions — a catalog cannot smuggle in a pair
+  // the enumeration machinery would reject.
+  try {
+    list.linked.emplace_back(fp1, fp2, layout);
+  } catch (const Error& e) {
+    reader.fail(1, e.what());
+  }
+}
+
+void read_decoder(const LineReader& reader, FaultList& list,
+                  const std::cmatch& match) {
+  DecoderFault fault;
+  fault.cls = static_cast<DecoderFaultClass>(
+      record_int(reader, match, 1, 0, 3,
+                 "cls (0=AFna no-access, 1=AFwc wrong-cell, 2=AFmc "
+                 "multiple-cells, 3=AFma multiple-addresses)"));
+  // 2^bit must fit a std::size_t address: same bound as decoder_fault_list.
+  fault.bit = static_cast<std::size_t>(
+      record_int(reader, match, 2, 0, 62, "bit (address line)"));
+  fault.wired = record_int(reader, match, 3, 0, 1,
+                           "wired (0=wired-AND, 1=wired-OR)") == 1
+                    ? Bit::One
+                    : Bit::Zero;
+  list.decoder.push_back(fault);
+}
+
+}  // namespace
+
+FaultList parse_fault_list_text(std::string_view text,
+                                const std::string& source) {
+  LineReader reader(text, source);
+  if (!reader.next()) {
+    reader.fail_at_end("empty document: expected 'faultlist v1' header");
+  }
+  if (reader.line() != "faultlist v1") {
+    if (reader.line().substr(0, 9) == "faultlist") {
+      reader.fail(10, "unsupported fault-list format version (this reader "
+                      "understands 'faultlist v1')");
+    }
+    reader.fail(1, "expected 'faultlist v1' header, got '" +
+                       std::string(reader.line()) + "'");
+  }
+  FaultList list;
+  while (reader.next()) {
+    const std::string_view line = reader.line();
+    std::cmatch match;
+    if (line.substr(0, 4) == "name") {
+      const std::size_t rest = line.find_first_not_of(" \t", 4);
+      if (line.size() > 4 && line[4] != ' ' && line[4] != '\t') {
+        // fall through to the unknown-record diagnostic below
+      } else if (rest == std::string_view::npos) {
+        reader.fail(5, "empty list name");
+      } else {
+        list.name = std::string(line.substr(rest));
+        continue;
+      }
+    }
+    if (match_record(reader, "simple", re_simple, match,
+                     "simple <S/F/R> a_pos=<-1|0|1> v_pos=<0|1>")) {
+      read_simple(reader, list, match);
+    } else if (match_record(reader, "linked", re_linked, match,
+                            "linked <S/F/R> -> <S/F/R> cells=<1..3> "
+                            "a1=<-1..2> a2=<-1..2> v=<0..2>")) {
+      read_linked(reader, list, match);
+    } else if (match_record(reader, "decoder", re_decoder, match,
+                            "decoder cls=<0..3> bit=<0..62> wired=<0|1>")) {
+      read_decoder(reader, list, match);
+    } else {
+      reader.fail(1, "unknown record '" +
+                         std::string(line.substr(0, line.find_first_of(" \t"))) +
+                         "' (expected name, simple, linked or decoder)");
+    }
+  }
+  return list;
+}
+
+}  // namespace mtg

@@ -1,0 +1,41 @@
+// Text format for user-defined fault lists — the reader side of
+// to_canonical_string(FaultList) (fp/fault_list.hpp), so coverage matrices,
+// sweeps and the generator can run on catalogs the binary has never seen.
+//
+// Grammar (record per line; blank lines and full-line '#' comments ignored):
+//
+//   file    := header ( name | simple | linked | decoder )*
+//   header  := 'faultlist v1'
+//   name    := 'name' <free text>              (display name, metadata only)
+//   simple  := 'simple' fp 'a_pos='int 'v_pos='int
+//   linked  := 'linked' fp '->' fp 'cells='int 'a1='int 'a2='int 'v='int
+//   decoder := 'decoder' 'cls='int 'bit='int 'wired='int
+//   fp      := '<' sens ( ';' sens )? '/' F '/' R '>'     (FP notation,
+//              e.g. <0w1/0/-> — see fp/fault_primitive.hpp)
+//
+// The three record kinds mirror the three FaultList sections: simple FPs
+// with their address layout, linked faults (re-validated against the
+// Definition 6/7 linking conditions on load), and address-decoder faults
+// (cls 0..3 = AFna, AFwc, AFmc, AFma; 'wired' selects wired-OR read-back
+// for AFmc).  parse_fault_list_text(to_canonical_string(x)) == x exactly;
+// external lists therefore produce the same stable_hash() and key into the
+// persistent sweep store (store/sweep_store.hpp) like built-in ones — no
+// store-schema change.
+//
+// Every diagnostic is a ParseError carrying "<source>:<line>:<column>".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fp/fault_list.hpp"
+
+namespace mtg {
+
+/// Parses the fault-list text format.  `source` names the document in
+/// diagnostics.  Throws mtg::ParseError (line:column-annotated) on
+/// malformed input; the resulting list may be empty (a header-only file).
+FaultList parse_fault_list_text(std::string_view text,
+                                const std::string& source = "<string>");
+
+}  // namespace mtg

@@ -1,0 +1,55 @@
+// Line-oriented reader underlying the catalog text formats (fault lists and
+// march-test suites).
+//
+// The formats are record-per-line: the reader walks significant lines (blank
+// lines and full-line '#' comments skipped, CRLF tolerated, surrounding
+// whitespace trimmed) and threads the 1-based line number through every
+// record parser, so each diagnostic lands as "<source>:<line>:<column>:
+// <message>" with the offending line excerpted — the mwlinkermap idiom of a
+// line-number-threaded reader with one pattern per record type.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/text_position.hpp"
+
+namespace mtg {
+
+/// Walks the significant lines of a catalog document.
+class LineReader {
+ public:
+  /// `source` names the document in diagnostics (a file path, or e.g.
+  /// "<string>" for in-memory input).
+  LineReader(std::string_view text, std::string source);
+
+  /// Advances to the next significant line; false at end of input.
+  bool next();
+
+  /// The current line, trimmed (valid after next() returned true).
+  std::string_view line() const noexcept { return line_; }
+  /// 1-based line number of the current line in the document.
+  std::size_t line_number() const noexcept { return line_number_; }
+  /// 1-based column of the first trimmed byte of line() in the raw line.
+  std::size_t line_indent() const noexcept { return indent_; }
+  const std::string& source() const noexcept { return source_; }
+
+  /// Throws ParseError at `column` (1-based, within the *trimmed* line) of
+  /// the current line: "<source>:<line>:<col>: <detail>" plus the excerpt.
+  [[noreturn]] void fail(std::size_t column, const std::string& detail) const;
+
+  /// Throws ParseError at the current (end-of-input) position — for
+  /// documents that end before a required record.
+  [[noreturn]] void fail_at_end(const std::string& detail) const;
+
+ private:
+  std::string_view text_;
+  std::string source_;
+  std::size_t cursor_ = 0;       // start of the next unread raw line
+  std::string_view line_;
+  std::size_t line_number_ = 0;
+  std::size_t indent_ = 1;
+};
+
+}  // namespace mtg

@@ -1,0 +1,135 @@
+#include "format/suite_text.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "format/reader.hpp"
+#include "march/parser.hpp"
+
+namespace mtg {
+
+const MarchTest* MarchSuite::find(std::string_view name) const {
+  for (const MarchTest& test : tests) {
+    if (test.name() == name) return &test;
+  }
+  return nullptr;
+}
+
+bool operator==(const MarchSuite& x, const MarchSuite& y) {
+  if (x.tests.size() != y.tests.size()) return false;
+  for (std::size_t i = 0; i < x.tests.size(); ++i) {
+    if (x.tests[i] != y.tests[i]) return false;
+    if (x.tests[i].name() != y.tests[i].name()) return false;
+  }
+  return true;
+}
+
+std::string to_canonical_string(const MarchSuite& suite) {
+  std::ostringstream out;
+  out << "suite v1\n";
+  for (const MarchTest& test : suite.tests) {
+    require(test.name().find('\n') == std::string::npos &&
+                test.name().find('\r') == std::string::npos,
+            "suite serialization: test name contains a line break: '" +
+                test.name() + "'");
+    out << "test \"";
+    for (const char c : test.name()) {
+      if (c == '"' || c == '\\') out << '\\';
+      out << c;
+    }
+    out << "\" " << test.to_canonical_string() << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Reads the quoted name of a 'test' record starting at `pos` (which must
+/// point at the opening '"' within the trimmed line); leaves `pos` just
+/// past the closing quote.
+std::string read_quoted_name(const LineReader& reader, std::size_t& pos) {
+  const std::string_view line = reader.line();
+  if (pos >= line.size() || line[pos] != '"') {
+    reader.fail(pos + 1, "expected '\"' opening the quoted test name");
+  }
+  ++pos;
+  std::string name;
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\') {
+      if (pos + 1 >= line.size() ||
+          (line[pos + 1] != '"' && line[pos + 1] != '\\')) {
+        reader.fail(pos + 1,
+                    "bad escape in test name (only \\\" and \\\\ exist)");
+      }
+      ++pos;
+    }
+    name += line[pos];
+    ++pos;
+  }
+  if (pos >= line.size()) {
+    reader.fail(line.size() + 1, "unterminated quoted test name");
+  }
+  ++pos;  // closing quote
+  return name;
+}
+
+}  // namespace
+
+MarchSuite parse_march_suite_text(std::string_view text,
+                                  const std::string& source) {
+  LineReader reader(text, source);
+  if (!reader.next()) {
+    reader.fail_at_end("empty document: expected 'suite v1' header");
+  }
+  if (reader.line() != "suite v1") {
+    if (reader.line().substr(0, 5) == "suite") {
+      reader.fail(6, "unsupported suite format version (this reader "
+                     "understands 'suite v1')");
+    }
+    reader.fail(1, "expected 'suite v1' header, got '" +
+                       std::string(reader.line()) + "'");
+  }
+  MarchSuite suite;
+  while (reader.next()) {
+    const std::string_view line = reader.line();
+    const std::string_view keyword = line.substr(0, line.find_first_of(" \t"));
+    if (keyword != "test") {
+      reader.fail(1, "unknown record '" + std::string(keyword) +
+                         "' (expected: test \"<name>\" <march notation>)");
+    }
+    std::size_t pos = line.find_first_not_of(" \t", 4);
+    if (pos == std::string_view::npos) {
+      reader.fail(5, "expected '\"' opening the quoted test name");
+    }
+    const std::string name = read_quoted_name(reader, pos);
+    if (suite.find(name) != nullptr) {
+      reader.fail(1, "duplicate test name \"" + name + "\" in suite");
+    }
+    pos = line.find_first_not_of(" \t", pos);
+    if (pos == std::string_view::npos) {
+      reader.fail(line.size() + 1,
+                  "expected march notation after the test name");
+    }
+    // Seed the march parser with the notation's document position so its
+    // line:column diagnostics point into this file.
+    TextPosition origin{reader.line_number(),
+                        reader.line_indent() + pos};
+    try {
+      suite.tests.push_back(parse_march_test(line.substr(pos), name, origin));
+    } catch (const ParseError& e) {
+      // Re-anchor under the document's source name; position is already in
+      // whole-document coordinates thanks to the origin.
+      throw ParseError(source + ":" + std::to_string(e.position().line) + ":" +
+                           std::to_string(e.position().column) + ": " +
+                           e.detail() + "\n  | " + std::string(line),
+                       e.detail(), e.position(), e.offset());
+    }
+  }
+  if (suite.tests.empty()) {
+    reader.fail_at_end("suite contains no tests (at least one 'test' record "
+                       "is required)");
+  }
+  return suite;
+}
+
+}  // namespace mtg

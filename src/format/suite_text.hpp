@@ -1,0 +1,59 @@
+// Text format for named march-test suites: catalogs of march tests the
+// binary has never seen, runnable by name through mtg_cli --suite-file.
+//
+// Grammar (record per line; blank lines and full-line '#' comments ignored):
+//
+//   file   := header test+
+//   header := 'suite v1'
+//   test   := 'test' '"' name '"' notation
+//   name   := quoted string; '\"' and '\\' escape '"' and '\'
+//   notation := march notation (march/parser.hpp), e.g. {c(w0); ^(r0,w1)}
+//
+// The writer is to_canonical_string(): ASCII march notation (the exact
+// MarchTest::to_canonical_string() form), names quoted —
+// parse_march_suite_text(to_canonical_string(x)) == x round-trips exactly,
+// names included.  March-notation errors inside a record surface in
+// whole-document coordinates (the parser is seeded with the notation's
+// line:column), so "catalog.suite:7:31: ..." points into the file, not into
+// an element substring.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "march/march_test.hpp"
+
+namespace mtg {
+
+/// A named, ordered collection of march tests.  Names are unique (the
+/// parser rejects duplicates; build code should keep them unique too).
+struct MarchSuite {
+  std::vector<MarchTest> tests;
+
+  std::size_t size() const noexcept { return tests.size(); }
+
+  /// The test named `name`, or nullptr.
+  const MarchTest* find(std::string_view name) const;
+
+  /// Round-trip equality: element-wise MarchTest equality *plus* names —
+  /// unlike bare MarchTest::operator==, a suite is a name -> test catalog,
+  /// so renaming a record is a content change.
+  friend bool operator==(const MarchSuite& x, const MarchSuite& y);
+  friend bool operator!=(const MarchSuite& x, const MarchSuite& y) {
+    return !(x == y);
+  }
+};
+
+/// Canonical serialization: 'suite v1' plus one canonical test record per
+/// line.  parse_march_suite_text(to_canonical_string(s)) == s.  Throws
+/// mtg::Error on names containing newlines (unrepresentable).
+std::string to_canonical_string(const MarchSuite& suite);
+
+/// Parses the suite text format.  Throws mtg::ParseError
+/// (line:column-annotated) on malformed input, duplicate names, or an empty
+/// suite (a suite must carry at least one test).
+MarchSuite parse_march_suite_text(std::string_view text,
+                                  const std::string& source = "<string>");
+
+}  // namespace mtg

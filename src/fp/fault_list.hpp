@@ -38,6 +38,15 @@ struct SimpleFault {
   static SimpleFault single(FaultPrimitive fp);
   /// Two-cell simple fault; `aggressor_below` selects the a<v layout.
   static SimpleFault coupled(FaultPrimitive fp, bool aggressor_below);
+
+  /// Content equality: the name is presentation metadata (it is derived from
+  /// the FP and layout by the factories) and does not participate.
+  friend bool operator==(const SimpleFault& x, const SimpleFault& y) {
+    return x.fp == y.fp && x.a_pos == y.a_pos && x.v_pos == y.v_pos;
+  }
+  friend bool operator!=(const SimpleFault& x, const SimpleFault& y) {
+    return !(x == y);
+  }
 };
 
 /// A named list of target faults (simple, linked and/or address-decoder).
@@ -49,6 +58,18 @@ struct FaultList {
 
   std::size_t size() const noexcept {
     return simple.size() + linked.size() + decoder.size();
+  }
+
+  /// Content equality, name excluded (metadata, like MarchTest::operator==):
+  /// two lists that serialize to the same canonical string compare equal —
+  /// parse(to_canonical_string(x)) == x is the round-trip contract of the
+  /// catalog text format (src/format/fault_list_text.hpp).
+  friend bool operator==(const FaultList& x, const FaultList& y) {
+    return x.simple == y.simple && x.linked == y.linked &&
+           x.decoder == y.decoder;
+  }
+  friend bool operator!=(const FaultList& x, const FaultList& y) {
+    return !(x == y);
   }
 };
 

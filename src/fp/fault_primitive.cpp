@@ -243,4 +243,104 @@ std::ostream& operator<<(std::ostream& os, const FaultPrimitive& fp) {
   return os << fp.notation();
 }
 
+namespace {
+
+/// Cursor over the FP notation with position-carrying failures.
+struct NotationScanner {
+  std::string_view text;
+  TextPosition origin;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("fault primitive notation error at " +
+                         position_at(text, pos, origin).to_string() + ": " +
+                         message + " in \"" + std::string(text) + "\"",
+                     message, position_at(text, pos, origin), pos);
+  }
+
+  char peek() const { return pos < text.size() ? text[pos] : '\0'; }
+
+  void expect(char c, const char* what) {
+    if (peek() != c) fail(std::string("expected '") + c + "' (" + what + ")");
+    ++pos;
+  }
+
+  Bit read_bit(const char* what) {
+    const char c = peek();
+    if (c != '0' && c != '1') fail(std::string("expected '0' or '1' (") + what + ")");
+    ++pos;
+    return bit_from_char(c);
+  }
+
+  /// One sensitizer: state bit plus optional operation (w0, w1, r<state>, t).
+  void read_sensitizer(Bit& state, SenseOp& op) {
+    state = read_bit("sensitizing state");
+    op = SenseOp::None;
+    switch (peek()) {
+      case 'w':
+        ++pos;
+        op = read_bit("written value") == Bit::One ? SenseOp::W1 : SenseOp::W0;
+        break;
+      case 'r': {
+        ++pos;
+        // A read always reads the current stored value; notation repeats it.
+        if (read_bit("read value") != state) {
+          --pos;
+          fail("a read sensitizer reads the cell's current value; "
+               "'r' must repeat the state bit");
+        }
+        op = SenseOp::Rd;
+        break;
+      }
+      case 't':
+        ++pos;
+        op = SenseOp::Wt;
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+FaultPrimitive FaultPrimitive::from_notation(std::string_view text,
+                                             TextPosition origin) {
+  NotationScanner scanner{text, origin};
+  scanner.expect('<', "a fault primitive starts with '<'");
+  Bit first_state = Bit::Zero, second_state = Bit::Zero;
+  SenseOp first_op = SenseOp::None, second_op = SenseOp::None;
+  scanner.read_sensitizer(first_state, first_op);
+  const bool two_cell = scanner.peek() == ';';
+  if (two_cell) {
+    ++scanner.pos;
+    scanner.read_sensitizer(second_state, second_op);
+  }
+  scanner.expect('/', "separator before the fault value F");
+  const Bit fault_value = scanner.read_bit("fault value F");
+  scanner.expect('/', "separator before the read result R");
+  const char r = scanner.peek();
+  if (r != '0' && r != '1' && r != '-') {
+    scanner.fail("expected '0', '1' or '-' (read result R)");
+  }
+  ++scanner.pos;
+  const Tri read_result = tri_from_char(r);
+  scanner.expect('>', "a fault primitive ends with '>'");
+  if (scanner.pos != text.size()) {
+    scanner.fail("trailing characters after fault primitive");
+  }
+  // Construction validation (one sensitizing operation, R on victim reads
+  // only, actual deviation, ...) reports at the start of the notation.
+  try {
+    return two_cell ? FaultPrimitive::coupled(first_state, first_op,
+                                              second_state, second_op,
+                                              fault_value, read_result)
+                    : FaultPrimitive::single(first_state, first_op,
+                                             fault_value, read_result);
+  } catch (const Error& e) {
+    scanner.pos = 0;
+    scanner.fail(e.what());
+  }
+}
+
 }  // namespace mtg

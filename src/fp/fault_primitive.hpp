@@ -32,9 +32,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <tuple>
 
 #include "common/bit.hpp"
+#include "common/text_position.hpp"
 
 namespace mtg {
 
@@ -151,6 +153,15 @@ class FaultPrimitive {
 
   /// Full notation, e.g. "<0w1/0/->" (single-cell), "<0w1;0/1/->" (two-cell).
   std::string notation() const;
+
+  /// Parses the notation() form back into a validated FP —
+  /// from_notation(fp.notation()) == fp for every valid FP; the catalog
+  /// fault-list reader (src/format/fault_list_text.hpp) builds on this.
+  /// Throws mtg::ParseError anchored at `origin` (plus the offset of the
+  /// offending byte inside `text`) on malformed notation or on an FP that
+  /// fails construction validation.
+  static FaultPrimitive from_notation(std::string_view text,
+                                      TextPosition origin = {});
 
   friend bool operator==(const FaultPrimitive& x, const FaultPrimitive& y) {
     return x.num_cells_ == y.num_cells_ && x.a_state_ == y.a_state_ &&

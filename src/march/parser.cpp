@@ -11,7 +11,8 @@ namespace {
 /// Minimal cursor-based scanner over the march notation.
 class Scanner {
  public:
-  explicit Scanner(std::string_view text) : text_(text) {}
+  explicit Scanner(std::string_view text, TextPosition origin)
+      : text_(text), origin_(origin) {}
 
   void skip_space() {
     while (pos_ < text_.size() &&
@@ -90,12 +91,20 @@ class Scanner {
   }
 
   [[noreturn]] void fail(const std::string& message) const {
-    throw Error("march notation error at offset " + std::to_string(pos_) + ": " +
-                message + " in \"" + std::string(text_) + "\"");
+    // Offset (into the directly parsed substring) and line:column (in
+    // whole-document coordinates via origin_) — once march notation comes
+    // from multi-line files, the bare offset alone is useless.
+    const TextPosition position = position_at(text_, pos_, origin_);
+    throw ParseError("march notation error at offset " +
+                         std::to_string(pos_) + " (" + position.to_string() +
+                         "): " + message + " in \"" +
+                         std::string(line_excerpt(text_, pos_)) + "\"",
+                     message, position, pos_);
   }
 
  private:
   std::string_view text_;
+  TextPosition origin_;
   std::size_t pos_ = 0;
 };
 
@@ -120,15 +129,16 @@ MarchElement read_element(Scanner& scanner) {
 
 }  // namespace
 
-MarchElement parse_march_element(std::string_view text) {
-  Scanner scanner(text);
+MarchElement parse_march_element(std::string_view text, TextPosition origin) {
+  Scanner scanner(text, origin);
   MarchElement element = read_element(scanner);
   if (!scanner.done()) scanner.fail("trailing characters after march element");
   return element;
 }
 
-MarchTest parse_march_test(std::string_view text, std::string name) {
-  Scanner scanner(text);
+MarchTest parse_march_test(std::string_view text, std::string name,
+                           TextPosition origin) {
+  Scanner scanner(text, origin);
   scanner.skip_space();
   const bool braced = scanner.consume('{');
   std::vector<MarchElement> elements;
@@ -144,8 +154,12 @@ MarchTest parse_march_test(std::string_view text, std::string name) {
     scanner.fail("unmatched '}' (the march test has no opening '{')");
   }
   if (!scanner.done()) scanner.fail("trailing characters after march test");
-  require(!elements.empty(),
-          "march test has no elements: \"" + std::string(text) + "\"");
+  if (elements.empty()) {
+    throw ParseError("march notation error at offset 0 (" +
+                         origin.to_string() + "): march test has no elements" +
+                         " in \"" + std::string(line_excerpt(text, 0)) + "\"",
+                     "march test has no elements", origin, 0);
+  }
   return MarchTest(std::move(name), std::move(elements));
 }
 

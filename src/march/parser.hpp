@@ -10,20 +10,30 @@
 // Examples:
 //   "{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}"
 //   "c(w0) ^(r0,w1) v(r1,w0)"
+//
+// Malformed input raises mtg::ParseError (common/text_position.hpp) whose
+// message carries the byte offset, the 1-based line:column and an excerpt of
+// the offending line.  When the notation is embedded in a larger document
+// (a march-suite file, src/format/suite_text.hpp), pass the position of its
+// first byte as `origin` so diagnostics come out in whole-document
+// coordinates.
 #pragma once
 
 #include <string>
 #include <string_view>
 
+#include "common/text_position.hpp"
 #include "march/march_test.hpp"
 
 namespace mtg {
 
-/// Parses a march test from its textual notation.  Throws mtg::Error with a
-/// position-annotated message on malformed input.
-MarchTest parse_march_test(std::string_view text, std::string name = {});
+/// Parses a march test from its textual notation.  Throws mtg::ParseError
+/// with a line:column-annotated message on malformed input.
+MarchTest parse_march_test(std::string_view text, std::string name = {},
+                           TextPosition origin = {});
 
 /// Parses a single march element, e.g. "⇑(r0,w1)".
-MarchElement parse_march_element(std::string_view text);
+MarchElement parse_march_element(std::string_view text,
+                                 TextPosition origin = {});
 
 }  // namespace mtg

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "common/error.hpp"
 
 namespace mtg {
@@ -19,6 +22,20 @@ TEST(ParseCount, RejectsSignsGarbageAndOverflow) {
     EXPECT_THROW(parse_count(bad, "x"), Error) << "'" << bad << "'";
   }
   EXPECT_THROW(parse_count("99999999999999999999999999", "x"), Error);
+}
+
+TEST(ParseCount, HandlesTheFullSizeTRange) {
+  // parse_count must go through a 64-bit conversion (std::stoull): on LLP64
+  // platforms std::stoul is 32-bit and would truncate or reject these.
+  EXPECT_EQ(parse_count("4294967295", "x"), 4294967295ull);  // UINT32_MAX
+  EXPECT_EQ(parse_count("4294967296", "x"), 4294967296ull);  // UINT32_MAX + 1
+  const std::string size_max =
+      std::to_string(std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(parse_count(size_max, "x"),
+            std::numeric_limits<std::size_t>::max());
+  // One digit past SIZE_MAX overflows and must throw, not wrap.
+  EXPECT_THROW(parse_count(size_max + "0", "x"), Error);
+  EXPECT_THROW(parse_count("18446744073709551616", "x"), Error);  // 2^64
 }
 
 TEST(ParseMemorySize, EnforcesTheSimulatorMinimum) {

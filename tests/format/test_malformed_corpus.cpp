@@ -1,0 +1,63 @@
+// Committed corpus of malformed catalog files (tests/format/corpus/): every
+// file must be rejected with a ParseError whose message carries a
+// source:line:column position — the diagnostics contract of the format
+// reader.  Files are discovered at run time, so adding a regression case is
+// just dropping a file into the corpus directory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "common/text_position.hpp"
+#include "format/catalog_io.hpp"
+
+namespace mtg {
+namespace {
+
+std::filesystem::path corpus_dir() {
+  return std::filesystem::path(MTG_TESTS_SOURCE_DIR) / "format" / "corpus";
+}
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_dir())) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(MalformedCorpus, CorpusIsPresent) {
+  // Guard against a silently-empty directory (e.g. a bad source-dir macro)
+  // turning the rejection test below into a vacuous pass.
+  EXPECT_GE(corpus_files().size(), 14u) << "corpus dir: " << corpus_dir();
+}
+
+TEST(MalformedCorpus, EveryFileIsRejectedWithAPosition) {
+  // "<path>:<line>:<column>: <detail>" somewhere in the message.
+  const std::regex position_pattern{R"(:[0-9]+:[0-9]+: )"};
+  for (const std::filesystem::path& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    try {
+      check_catalog_file(path.string());
+      ADD_FAILURE() << "malformed file was accepted";
+    } catch (const ParseError& e) {
+      EXPECT_TRUE(std::regex_search(std::string(e.what()), position_pattern))
+          << "no line:column in: " << e.what();
+      EXPECT_GE(e.position().line, 1u);
+      EXPECT_GE(e.position().column, 1u);
+      // The formatted message names the offending file.
+      EXPECT_NE(std::string(e.what()).find(path.filename().string()),
+                std::string::npos)
+          << "source path missing from: " << e.what();
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "expected mtg::ParseError, got: " << e.what();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mtg

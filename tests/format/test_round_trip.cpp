@@ -1,0 +1,110 @@
+// The round-trip contract of the catalog text formats:
+//
+//   parse(to_canonical_string(x)) == x
+//
+// for every built-in fault list (all three sections: simple, linked,
+// decoder) and for a suite of every catalog march test — and the stable
+// hashes survive the trip, so an external catalog that serializes equal to
+// a built-in keys into the same sweep-store records.
+#include <gtest/gtest.h>
+
+#include "fp/fault_list.hpp"
+#include "fp/fp_library.hpp"
+#include "format/fault_list_text.hpp"
+#include "format/suite_text.hpp"
+#include "march/catalog.hpp"
+#include "march/parser.hpp"
+
+namespace mtg {
+namespace {
+
+std::vector<FaultList> builtin_lists() {
+  return {fault_list_1(), fault_list_2(), standard_simple_static_faults(),
+          retention_fault_list(), decoder_fault_list()};
+}
+
+TEST(FormatRoundTrip, EveryBuiltinFaultListSurvivesExactly) {
+  for (const FaultList& list : builtin_lists()) {
+    SCOPED_TRACE(list.name);
+    const std::string text = to_canonical_string(list);
+    const FaultList reparsed = parse_fault_list_text(text, list.name);
+    EXPECT_EQ(reparsed, list);
+    // Exact canonical fixpoint: writing the reparsed list reproduces the
+    // text byte for byte, so hashes (= sweep-store keys) are preserved.
+    EXPECT_EQ(to_canonical_string(reparsed), text);
+    EXPECT_EQ(stable_hash(reparsed), stable_hash(list));
+  }
+}
+
+TEST(FormatRoundTrip, FaultListSectionsSurviveIndividually) {
+  const FaultList list = fault_list_1();
+  const FaultList reparsed =
+      parse_fault_list_text(to_canonical_string(list));
+  ASSERT_EQ(reparsed.simple.size(), list.simple.size());
+  ASSERT_EQ(reparsed.linked.size(), list.linked.size());
+  for (std::size_t i = 0; i < list.simple.size(); ++i) {
+    EXPECT_EQ(reparsed.simple[i], list.simple[i]) << "simple #" << i;
+    // Factory-rebuilt records reproduce the derived display names too.
+    EXPECT_EQ(reparsed.simple[i].name, list.simple[i].name) << "simple #" << i;
+  }
+  for (std::size_t i = 0; i < list.linked.size(); ++i) {
+    EXPECT_EQ(reparsed.linked[i], list.linked[i]) << "linked #" << i;
+  }
+}
+
+TEST(FormatRoundTrip, DecoderSectionSurvives) {
+  const FaultList list = decoder_fault_list();
+  ASSERT_FALSE(list.decoder.empty());
+  const FaultList reparsed =
+      parse_fault_list_text(to_canonical_string(list));
+  ASSERT_EQ(reparsed.decoder.size(), list.decoder.size());
+  for (std::size_t i = 0; i < list.decoder.size(); ++i) {
+    EXPECT_EQ(reparsed.decoder[i], list.decoder[i]) << "decoder #" << i;
+  }
+}
+
+TEST(FormatRoundTrip, EveryFaultPrimitiveNotationSurvives) {
+  for (const FaultPrimitive& fp : all_fps()) {
+    SCOPED_TRACE(fp.notation());
+    EXPECT_EQ(FaultPrimitive::from_notation(fp.notation()), fp);
+  }
+}
+
+TEST(FormatRoundTrip, SuiteOfEveryCatalogTestSurvivesExactly) {
+  MarchSuite suite;
+  suite.tests = all_catalog_tests();
+  const std::string text = to_canonical_string(suite);
+  const MarchSuite reparsed = parse_march_suite_text(text, "catalog");
+  EXPECT_EQ(reparsed, suite);  // includes names
+  EXPECT_EQ(to_canonical_string(reparsed), text);
+  for (std::size_t i = 0; i < suite.tests.size(); ++i) {
+    EXPECT_EQ(stable_hash(reparsed.tests[i]), stable_hash(suite.tests[i]))
+        << suite.tests[i].name();
+  }
+}
+
+TEST(FormatRoundTrip, SuiteNamesNeedingEscapesSurvive) {
+  MarchSuite suite;
+  suite.tests.push_back(
+      parse_march_test("{c(w0); ^(r0,w1)}", R"(quoted "name" with \ inside)"));
+  const MarchSuite reparsed =
+      parse_march_suite_text(to_canonical_string(suite));
+  ASSERT_EQ(reparsed.size(), 1u);
+  EXPECT_EQ(reparsed.tests[0].name(), R"(quoted "name" with \ inside)");
+  EXPECT_EQ(reparsed, suite);
+}
+
+TEST(FormatRoundTrip, ListNameDirectiveIsMetadataOnly) {
+  const std::string text =
+      "faultlist v1\nname My list\nsimple <0/1/-> a_pos=-1 v_pos=0\n";
+  const FaultList list = parse_fault_list_text(text);
+  EXPECT_EQ(list.name, "My list");
+  FaultList anonymous = list;
+  anonymous.name.clear();
+  // Names are metadata: they change neither equality nor the store key.
+  EXPECT_EQ(anonymous, list);
+  EXPECT_EQ(stable_hash(anonymous), stable_hash(list));
+}
+
+}  // namespace
+}  // namespace mtg

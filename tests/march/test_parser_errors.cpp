@@ -78,6 +78,52 @@ TEST(ParserErrors, MessagesCarryTheOffset) {
   }
 }
 
+TEST(ParserErrors, MessagesCarryLineAndColumn) {
+  // Errors are ParseError (not just Error) with a structured position in
+  // addition to the legacy byte offset.
+  try {
+    parse_march_test("{c(w0); ^(r0,zz)}");
+    FAIL() << "no error";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.position(), (TextPosition{1, 14}));  // offset 13, 1-based col
+    EXPECT_EQ(e.offset(), 13u);
+    EXPECT_NE(std::string(e.what()).find("line 1, column 14"),
+              std::string::npos)
+        << e.what();
+    EXPECT_EQ(e.detail(), "unknown memory operation token: 'zz'");
+  }
+}
+
+TEST(ParserErrors, MultiLineInputReportsTheRightLine) {
+  // Notation spanning lines: the error lands on line 3, and the excerpt
+  // quotes only that line.
+  try {
+    parse_march_test("{c(w0);\n^(r0,w1);\nv(r1,xx)}");
+    FAIL() << "no error";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.position().line, 3u);
+    EXPECT_EQ(e.position().column, 6u);  // 'xx' in "v(r1,xx)}"
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line 3, column 6"), std::string::npos) << message;
+    EXPECT_NE(message.find("v(r1,xx)}"), std::string::npos) << message;
+    EXPECT_EQ(message.find("^(r0,w1)"), std::string::npos)
+        << "excerpt quotes more than the offending line: " << message;
+  }
+}
+
+TEST(ParserErrors, OriginShiftsPositionsIntoTheEnclosingDocument) {
+  // A suite file embeds notation mid-line: seeding the parser with the
+  // notation's document position makes diagnostics point into the file.
+  try {
+    parse_march_test("{c(w0); ^(r0,zz)}", "embedded", TextPosition{7, 30});
+    FAIL() << "no error";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.position().line, 7u);
+    EXPECT_EQ(e.position().column, 30u + 13u);
+    EXPECT_EQ(e.offset(), 13u);  // offset stays notation-relative
+  }
+}
+
 TEST(ParserErrors, WellFormedInputStillParses) {
   // Hardening must not reject the accepted grammar.
   EXPECT_NO_THROW(parse_march_test("{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}"));
