@@ -27,9 +27,21 @@
 //       persistent result cache (store/sweep_store.hpp): external catalogs
 //       key by the same canonical-serialization hashes as built-ins, so
 //       re-runs hit the store (0 points evaluated) with no schema change
+//   mtg_cli lint [<test>...] [<list>] [n] [--list-file <path>]
+//           [--suite-file <path>]
+//       static catalog linter (analysis/lint.hpp): flags redundant march
+//       elements, dead operations, duplicate/subsumed fault records and
+//       zero-instance faults at the given memory size (default 6), against
+//       a built-in list (default list1) or --list-file.  Tests come from
+//       the positional specs (march notation or catalog/suite names); with
+//       --suite-file and no specs, every suite test is linted.  Findings
+//       from catalog files carry path:line:column positions.  Exits 1 when
+//       anything is flagged
 //   mtg_cli check <path>...
 //       parse catalog files (fault lists or suites), reporting
-//       path:line:column-annotated errors; the CI catalog-rot guard
+//       path:line:column-annotated errors; the CI catalog-rot guard.  Adds
+//       a static-coverage summary per parsed catalog (instantiable fault
+//       counts; per-suite-test verdict counts vs list1 at n=6)
 //   mtg_cli dot <g0|pgcf>
 //       print the Figure 2 / Figure 4 graph as GraphViz DOT
 #include <algorithm>
@@ -38,6 +50,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hpp"
+#include "analysis/static_analyzer.hpp"
 #include "common/parse.hpp"
 #include "format/catalog_io.hpp"
 #include "fp/fault_list.hpp"
@@ -214,14 +228,46 @@ int cmd_coverage(const MarchTest& test, const FaultList& list, std::size_t n,
     options.store = &store;
     const std::vector<SweepPoint> points =
         sweep_coverage(test, list, {n}, options);
-    std::cout << points[0].report.summary() << "\n";
+    std::cout << points[0].report.summary() << "\n"
+              << analyze_coverage(test, list, n).summary() << "\n";
     print_store_stats(store, store_path);
     return points[0].report.full_coverage() ? 0 : 1;
   }
   const FaultSimulator simulator(SimulatorOptions{n, true, 10});
   const CoverageReport report = evaluate_coverage(simulator, test, list);
-  std::cout << report.summary() << "\n";
+  std::cout << report.summary() << "\n"
+            << analyze_coverage(test, list, n).summary() << "\n";
   return report.full_coverage() ? 0 : 1;
+}
+
+/// The static-coverage lines 'check' appends per parsed catalog: how much
+/// of a fault list is even instantiable at the default memory size, and the
+/// analyzer's verdict counts for every suite test against list1.
+void print_check_static_summary(const std::string& path) {
+  constexpr std::size_t kN = 6;
+  const std::string text = read_text_file(path);
+  if (detect_catalog_kind(text, path) == CatalogKind::FaultListFile) {
+    const FaultList list = parse_fault_list_text(text, path);
+    std::size_t instantiable = 0;
+    for (const SimpleFault& fault : list.simple) {
+      if (static_instance_count(fault, kN) > 0) ++instantiable;
+    }
+    for (const LinkedFault& fault : list.linked) {
+      if (static_instance_count(fault, kN) > 0) ++instantiable;
+    }
+    for (const DecoderFault& fault : list.decoder) {
+      if (static_instance_count(fault, kN) > 0) ++instantiable;
+    }
+    std::cout << "  static@n=" << kN << ": " << instantiable << " of "
+              << list.size() << " faults instantiable\n";
+    return;
+  }
+  const MarchSuite suite = parse_march_suite_text(text, path);
+  const FaultList list = fault_list_1();
+  for (const MarchTest& test : suite.tests) {
+    std::cout << "  " << test.name() << " vs " << list.name << " @n=" << kN
+              << ": " << analyze_coverage(test, list, kN).summary() << "\n";
+  }
 }
 
 int cmd_check(const std::vector<std::string>& paths) {
@@ -230,12 +276,90 @@ int cmd_check(const std::vector<std::string>& paths) {
     try {
       const std::string summary = check_catalog_file(path);
       std::cout << "ok " << path << ": " << summary << "\n";
+      print_check_static_summary(path);
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << "\n";
       all_ok = false;
     }
   }
   return all_ok ? 0 : 1;
+}
+
+int cmd_lint(const std::vector<std::string>& test_specs,
+             const std::string& list_name, const std::string& list_file,
+             const std::string& suite_file, std::size_t n) {
+  LintOptions options;
+  options.memory_size = n;
+  std::vector<LintFinding> findings;
+
+  FaultList list;
+  FaultListPositions list_positions;
+  if (list_file.empty()) {
+    list = list_by_name(list_name);
+    const auto list_findings = lint_fault_list(list, options, list_name);
+    findings.insert(findings.end(), list_findings.begin(),
+                    list_findings.end());
+  } else {
+    list = parse_fault_list_text(read_text_file(list_file), list_file,
+                                 &list_positions);
+    const auto list_findings =
+        lint_fault_list(list, options, list_file, &list_positions);
+    findings.insert(findings.end(), list_findings.begin(),
+                    list_findings.end());
+  }
+
+  std::optional<MarchSuite> suite;
+  std::vector<SuiteTestPosition> suite_positions;
+  if (!suite_file.empty()) {
+    suite = parse_march_suite_text(read_text_file(suite_file), suite_file,
+                                   &suite_positions);
+  }
+
+  // Lint targets: the positional specs; with a suite and no specs, every
+  // suite test.  Suite-resolved tests keep their document positions.
+  struct Target {
+    MarchTest test;
+    const SuiteTestPosition* positions;
+    std::string source;
+  };
+  std::vector<Target> targets;
+  const auto suite_target = [&](const std::string& name)
+      -> const SuiteTestPosition* {
+    if (!suite.has_value()) return nullptr;
+    for (std::size_t i = 0; i < suite->tests.size(); ++i) {
+      if (suite->tests[i].name() == name) return &suite_positions[i];
+    }
+    return nullptr;
+  };
+  if (test_specs.empty() && suite.has_value()) {
+    for (std::size_t i = 0; i < suite->tests.size(); ++i) {
+      targets.push_back({suite->tests[i], &suite_positions[i], suite_file});
+    }
+  }
+  for (const std::string& spec : test_specs) {
+    const MarchTest test = resolve_test(spec, suite ? &*suite : nullptr);
+    const SuiteTestPosition* positions = suite_target(test.name());
+    targets.push_back(
+        {test, positions, positions != nullptr ? suite_file : test.name()});
+  }
+  for (const Target& target : targets) {
+    const auto test_findings = lint_march_test(target.test, list, options,
+                                               target.source,
+                                               target.positions);
+    findings.insert(findings.end(), test_findings.begin(),
+                    test_findings.end());
+  }
+
+  for (const LintFinding& finding : findings) {
+    std::cout << finding.format() << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "clean: no lint findings against " << list.name << " at n="
+              << n << "\n";
+    return 0;
+  }
+  std::cout << findings.size() << " lint finding(s)\n";
+  return 1;
 }
 
 int cmd_dot(const std::string& which) {
@@ -265,6 +389,8 @@ int usage() {
          "--suite-file) a suite\n"
       << "    test name; defaults to \"March SL\" when omitted\n"
       << "    <list>: a built-in list name, or --list-file <path> instead\n"
+      << "  mtg_cli lint [<test>...] [<list>] [n] [--list-file <path>] "
+         "[--suite-file <path>]\n"
       << "  mtg_cli check <path>...\n"
       << "  mtg_cli dot <g0|pgcf>\n";
   return 2;
@@ -284,7 +410,8 @@ int main(int argc, char** argv) {
     if (command == "check" && argc > 2) {
       return cmd_check(std::vector<std::string>(argv + 2, argv + argc));
     }
-    if (command == "lists" || command == "generate" || command == "coverage") {
+    if (command == "lists" || command == "generate" ||
+        command == "coverage" || command == "lint") {
       // Shared flag/positional split for the catalog-aware commands.
       std::vector<std::string> positional;
       std::string list_file, suite_file, sweep_sizes, store_path;
@@ -314,6 +441,29 @@ int main(int argc, char** argv) {
       if (command == "lists") {
         if (!positional.empty() || stats) return usage();
         return cmd_lists(list_file, suite_file);
+      }
+
+      if (command == "lint") {
+        // Positionals sort themselves: digits are the memory size, a
+        // built-in list name selects the lint target, anything else is a
+        // test spec (march notation or a catalog/suite test name).
+        if (stats || !sweep_sizes.empty() || !store_path.empty()) {
+          return usage();
+        }
+        std::vector<std::string> specs;
+        std::string lint_list = "list1";
+        std::size_t lint_n = 6;
+        for (const std::string& arg : positional) {
+          if (all_digits(arg)) {
+            lint_n = parse_memory_size(arg, "memory size");
+          } else if (arg == "list1" || arg == "list2" || arg == "simple" ||
+                     arg == "retention" || arg == "decoder") {
+            lint_list = arg;
+          } else {
+            specs.push_back(arg);
+          }
+        }
+        return cmd_lint(specs, lint_list, list_file, suite_file, lint_n);
       }
 
       if (command == "generate") {

@@ -142,7 +142,8 @@ void read_decoder(const LineReader& reader, FaultList& list,
 }  // namespace
 
 FaultList parse_fault_list_text(std::string_view text,
-                                const std::string& source) {
+                                const std::string& source,
+                                FaultListPositions* positions) {
   LineReader reader(text, source);
   if (!reader.next()) {
     reader.fail_at_end("empty document: expected 'faultlist v1' header");
@@ -170,16 +171,21 @@ FaultList parse_fault_list_text(std::string_view text,
         continue;
       }
     }
+    const TextPosition record_position{reader.line_number(),
+                                       reader.line_indent()};
     if (match_record(reader, "simple", re_simple, match,
                      "simple <S/F/R> a_pos=<-1|0|1> v_pos=<0|1>")) {
       read_simple(reader, list, match);
+      if (positions != nullptr) positions->simple.push_back(record_position);
     } else if (match_record(reader, "linked", re_linked, match,
                             "linked <S/F/R> -> <S/F/R> cells=<1..3> "
                             "a1=<-1..2> a2=<-1..2> v=<0..2>")) {
       read_linked(reader, list, match);
+      if (positions != nullptr) positions->linked.push_back(record_position);
     } else if (match_record(reader, "decoder", re_decoder, match,
                             "decoder cls=<0..3> bit=<0..62> wired=<0|1>")) {
       read_decoder(reader, list, match);
+      if (positions != nullptr) positions->decoder.push_back(record_position);
     } else {
       reader.fail(1, "unknown record '" +
                          std::string(line.substr(0, line.find_first_of(" \t"))) +

@@ -27,15 +27,28 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/text_position.hpp"
 #include "fp/fault_list.hpp"
 
 namespace mtg {
 
+/// Document positions of every parsed record, index-aligned with the three
+/// FaultList sections — the anchors the catalog linter (analysis/lint.hpp)
+/// attaches its path:line:column diagnostics to.
+struct FaultListPositions {
+  std::vector<TextPosition> simple;
+  std::vector<TextPosition> linked;
+  std::vector<TextPosition> decoder;
+};
+
 /// Parses the fault-list text format.  `source` names the document in
 /// diagnostics.  Throws mtg::ParseError (line:column-annotated) on
 /// malformed input; the resulting list may be empty (a header-only file).
+/// A non-null `positions` receives the position of each record.
 FaultList parse_fault_list_text(std::string_view text,
-                                const std::string& source = "<string>");
+                                const std::string& source = "<string>",
+                                FaultListPositions* positions = nullptr);
 
 }  // namespace mtg

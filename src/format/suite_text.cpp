@@ -76,7 +76,8 @@ std::string read_quoted_name(const LineReader& reader, std::size_t& pos) {
 }  // namespace
 
 MarchSuite parse_march_suite_text(std::string_view text,
-                                  const std::string& source) {
+                                  const std::string& source,
+                                  std::vector<SuiteTestPosition>* positions) {
   LineReader reader(text, source);
   if (!reader.next()) {
     reader.fail_at_end("empty document: expected 'suite v1' header");
@@ -115,7 +116,15 @@ MarchSuite parse_march_suite_text(std::string_view text,
     TextPosition origin{reader.line_number(),
                         reader.line_indent() + pos};
     try {
-      suite.tests.push_back(parse_march_test(line.substr(pos), name, origin));
+      SuiteTestPosition record_positions;
+      record_positions.record =
+          TextPosition{reader.line_number(), reader.line_indent()};
+      suite.tests.push_back(parse_march_test(
+          line.substr(pos), name, origin,
+          positions != nullptr ? &record_positions.elements : nullptr));
+      if (positions != nullptr) {
+        positions->push_back(std::move(record_positions));
+      }
     } catch (const ParseError& e) {
       // Re-anchor under the document's source name; position is already in
       // whole-document coordinates thanks to the origin.

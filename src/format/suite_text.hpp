@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/text_position.hpp"
 #include "march/march_test.hpp"
 
 namespace mtg {
@@ -50,10 +51,21 @@ struct MarchSuite {
 /// mtg::Error on names containing newlines (unrepresentable).
 std::string to_canonical_string(const MarchSuite& suite);
 
+/// Document positions of one suite record: the 'test' keyword plus each
+/// march element's address-order marker — the anchors the catalog linter
+/// (analysis/lint.hpp) attaches redundant-element diagnostics to.
+struct SuiteTestPosition {
+  TextPosition record;
+  std::vector<TextPosition> elements;
+};
+
 /// Parses the suite text format.  Throws mtg::ParseError
 /// (line:column-annotated) on malformed input, duplicate names, or an empty
-/// suite (a suite must carry at least one test).
+/// suite (a suite must carry at least one test).  A non-null `positions`
+/// receives one entry per test, index-aligned with MarchSuite::tests.
 MarchSuite parse_march_suite_text(std::string_view text,
-                                  const std::string& source = "<string>");
+                                  const std::string& source = "<string>",
+                                  std::vector<SuiteTestPosition>* positions =
+                                      nullptr);
 
 }  // namespace mtg

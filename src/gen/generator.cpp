@@ -5,6 +5,7 @@
 #include <optional>
 #include <set>
 
+#include "analysis/static_analyzer.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "gen/candidates.hpp"
@@ -220,6 +221,35 @@ GenerationResult generate_march_test(const FaultList& list,
   // previous sync, and instances detected under every scenario are dropped
   // permanently: march tests grow append-only within the CEGIS loop and
   // detection is sticky, so a dropped instance can never escape again.
+  // Static prefilter: faults the symbolic analyzer proves the phase-A test
+  // detects need no certification instances at all — the analyzer's definite
+  // verdicts agree with both engines (the three-way fuzz contract), so their
+  // full-prefix simulation is pure overhead.  Decoder-fault detection
+  // depends on the memory size, which the minimizer (working at its own,
+  // smaller n) does not re-establish, so decoder faults are only deferred
+  // when no minimizer can edit the test afterwards; cell-fault detection
+  // depends only on relative cell order and survives minimization.
+  std::vector<std::uint8_t> static_resolved(fault_count(list), 0);
+  const AnalysisOptions analysis_options{options.both_power_on_states};
+  if (options.static_prefilter) {
+    const auto sp0 = std::chrono::steady_clock::now();
+    const StaticCoverage pre = analyze_coverage(
+        test, list, options.certify_memory_size, analysis_options);
+    const std::size_t cell_faults = list.simple.size() + list.linked.size();
+    for (const StaticCoverageEntry& entry : pre.entries) {
+      if (entry.verdict != StaticVerdict::Detected) continue;
+      if (entry.fault_index >= cell_faults && options.minimize) continue;
+      if (uncoverable.count(entry.fault_index) > 0) continue;
+      static_resolved[entry.fault_index] = 1;
+      ++stats.static_resolved_faults;
+    }
+    stats.static_seconds += std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - sp0).count();
+    stats.log.push_back("static prefilter resolved " +
+                        std::to_string(stats.static_resolved_faults) +
+                        " faults before certification");
+  }
+
   std::vector<FaultInstance> cert_instances;
   std::vector<std::uint8_t> instantiable(fault_count(list), 0);
   for (FaultInstance& instance : instantiate_all(
@@ -229,9 +259,12 @@ GenerationResult generate_march_test(const FaultList& list,
     instantiable[instance.fault_index] = 1;
     // Faults phase A already reported uncoverable are out of scope — skip
     // them before paying their full-prefix simulation.
-    if (uncoverable.count(instance.fault_index) == 0) {
-      cert_instances.push_back(std::move(instance));
+    if (uncoverable.count(instance.fault_index) > 0) continue;
+    if (static_resolved[instance.fault_index] != 0) {
+      ++stats.static_skipped_instances;
+      continue;
     }
+    cert_instances.push_back(std::move(instance));
   }
   // Faults with no instance at the certify size cannot be certified there
   // at all (e.g. a decoder fault on an address line the certify memory does
@@ -312,6 +345,48 @@ GenerationResult generate_march_test(const FaultList& list,
     // stay dropped.
     certify_and_extend();  // a removal may only matter at certify size
     lap("phase B2 (re-certification)", &stats.phase_b2_seconds);
+
+    // Post-minimize re-check of the prefilter: re-derive every deferred
+    // fault's verdict on the minimized test.  Cell-fault detection is
+    // order-relative, so a minimizer that preserved detection at its own
+    // size preserved it here too and this never fires in practice — but if
+    // a deferred fault did lose its static Detected, certify it the
+    // ordinary way (and extend the test if instances really escape).
+    if (stats.static_resolved_faults > 0) {
+      const auto sp0 = std::chrono::steady_clock::now();
+      const StaticCoverage post = analyze_coverage(
+          test, list, options.certify_memory_size, analysis_options);
+      std::set<std::size_t> lost;
+      for (const StaticCoverageEntry& entry : post.entries) {
+        if (static_resolved[entry.fault_index] == 0) continue;
+        if (entry.verdict == StaticVerdict::Detected) continue;
+        lost.insert(entry.fault_index);
+      }
+      stats.static_seconds += std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - sp0).count();
+      if (!lost.empty()) {
+        stats.log.push_back("static re-check: " +
+                            std::to_string(lost.size()) +
+                            " deferred faults lost their Detected verdict; "
+                            "re-certifying");
+        std::vector<FaultInstance> lost_instances;
+        for (FaultInstance& instance : instantiate_all(
+                 list, options.certify_memory_size,
+                 options.max_instances_per_fault)) {
+          if (lost.count(instance.fault_index) > 0) {
+            lost_instances.push_back(std::move(instance));
+          }
+        }
+        PrefixEngine lost_engine(
+            options.certify_memory_size, std::move(lost_instances), test,
+            PrefixEngine::Options{options.both_power_on_states,
+                                  /*record_checkpoints=*/false},
+            &cert_workers);
+        auto stalled =
+            greedy_cover(lost_engine, pool, test, options, workers, stats);
+        uncoverable.insert(stalled.begin(), stalled.end());
+      }
+    }
   }
   stats.instances_dropped = cert_engine.dropped_instances();
 

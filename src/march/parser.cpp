@@ -90,6 +90,11 @@ class Scanner {
     }
   }
 
+  /// Whole-document position of the next unconsumed byte.
+  TextPosition position() const {
+    return position_at(text_, pos_, origin_);
+  }
+
   [[noreturn]] void fail(const std::string& message) const {
     // Offset (into the directly parsed substring) and line:column (in
     // whole-document coordinates via origin_) — once march notation comes
@@ -137,12 +142,17 @@ MarchElement parse_march_element(std::string_view text, TextPosition origin) {
 }
 
 MarchTest parse_march_test(std::string_view text, std::string name,
-                           TextPosition origin) {
+                           TextPosition origin,
+                           std::vector<TextPosition>* element_positions) {
   Scanner scanner(text, origin);
   scanner.skip_space();
   const bool braced = scanner.consume('{');
   std::vector<MarchElement> elements;
   while (!scanner.done() && scanner.peek() != '}') {
+    // done() leaves the cursor on the order marker of the next element.
+    if (element_positions != nullptr) {
+      element_positions->push_back(scanner.position());
+    }
     elements.push_back(read_element(scanner));
     scanner.skip_space();
   }

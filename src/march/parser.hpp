@@ -21,6 +21,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/text_position.hpp"
 #include "march/march_test.hpp"
@@ -28,9 +29,15 @@
 namespace mtg {
 
 /// Parses a march test from its textual notation.  Throws mtg::ParseError
-/// with a line:column-annotated message on malformed input.
+/// with a line:column-annotated message on malformed input.  When
+/// `element_positions` is non-null it receives the position of each
+/// element's address-order marker (in whole-document coordinates via
+/// `origin`) — the anchor the catalog linter points its per-element
+/// diagnostics at.
 MarchTest parse_march_test(std::string_view text, std::string name = {},
-                           TextPosition origin = {});
+                           TextPosition origin = {},
+                           std::vector<TextPosition>* element_positions =
+                               nullptr);
 
 /// Parses a single march element, e.g. "⇑(r0,w1)".
 MarchElement parse_march_element(std::string_view text,

@@ -44,8 +44,8 @@ INSTANTIATE_TEST_SUITE_P(
                       PublishedComplexity{"March ABL", 37},
                       PublishedComplexity{"March RABL", 35},
                       PublishedComplexity{"March ABL1", 9}),
-    [](const auto& info) {
-      std::string name = info.param.name;
+    [](const auto& param_info) {
+      std::string name = param_info.param.name;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
@@ -63,8 +63,8 @@ TEST_P(CatalogValidity, ConsistentAndValidOnFaultFreeMemory) {
 INSTANTIATE_TEST_SUITE_P(
     AllCatalogTests, CatalogValidity,
     ::testing::ValuesIn(all_catalog_tests()),
-    [](const ::testing::TestParamInfo<MarchTest>& info) {
-      std::string name = info.param.name();
+    [](const ::testing::TestParamInfo<MarchTest>& param_info) {
+      std::string name = param_info.param.name();
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

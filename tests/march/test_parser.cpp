@@ -83,8 +83,8 @@ TEST_P(CatalogRoundTrip, AsciiNotationRoundTrips) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllCatalogTests, CatalogRoundTrip, ::testing::ValuesIn(all_catalog_tests()),
-    [](const ::testing::TestParamInfo<MarchTest>& info) {
-      std::string name = info.param.name();
+    [](const ::testing::TestParamInfo<MarchTest>& param_info) {
+      std::string name = param_info.param.name();
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -39,8 +39,8 @@ TEST_P(SimpleFaultSweep, CoveredByMarchSl) {
 INSTANTIATE_TEST_SUITE_P(
     AllSimpleStaticFaults, SimpleFaultSweep,
     ::testing::ValuesIn(standard_simple_static_faults().simple),
-    [](const ::testing::TestParamInfo<SimpleFault>& info) {
-      return sanitize(info.param.name) + "_" + std::to_string(info.index);
+    [](const ::testing::TestParamInfo<SimpleFault>& param_info) {
+      return sanitize(param_info.param.name) + "_" + std::to_string(param_info.index);
     });
 
 // --- every single-cell linked fault is covered by the linked-fault tests ---
@@ -60,8 +60,8 @@ TEST_P(SingleCellLinkedSweep, CoveredByAbl1AndLf1AndSl) {
 INSTANTIATE_TEST_SUITE_P(
     FaultListTwo, SingleCellLinkedSweep,
     ::testing::ValuesIn(enumerate_single_cell_linked_faults()),
-    [](const ::testing::TestParamInfo<LinkedFault>& info) {
-      return sanitize(info.param.name()) + "_" + std::to_string(info.index);
+    [](const ::testing::TestParamInfo<LinkedFault>& param_info) {
+      return sanitize(param_info.param.name()) + "_" + std::to_string(param_info.index);
     });
 
 // --- no catalog test ever raises a false alarm ------------------------------
@@ -82,8 +82,8 @@ TEST_P(FalseAlarmSweep, FaultFreeMemoryPasses) {
 INSTANTIATE_TEST_SUITE_P(
     AllCatalogTests, FalseAlarmSweep,
     ::testing::ValuesIn(all_catalog_tests()),
-    [](const ::testing::TestParamInfo<MarchTest>& info) {
-      return sanitize(info.param.name());
+    [](const ::testing::TestParamInfo<MarchTest>& param_info) {
+      return sanitize(param_info.param.name());
     });
 
 // --- detection is layout-symmetric ------------------------------------------
@@ -109,8 +109,8 @@ INSTANTIATE_TEST_SUITE_P(
       for (std::size_t i = 0; i < all.size(); i += 10) sample.push_back(all[i]);
       return sample;
     }()),
-    [](const ::testing::TestParamInfo<LinkedFault>& info) {
-      return sanitize(info.param.name()) + "_" + std::to_string(info.index);
+    [](const ::testing::TestParamInfo<LinkedFault>& param_info) {
+      return sanitize(param_info.param.name()) + "_" + std::to_string(param_info.index);
     });
 
 }  // namespace

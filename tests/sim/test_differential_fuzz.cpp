@@ -1,12 +1,15 @@
-// Randomized differential testing of the packed engine against the scalar
-// reference machine.
+// Randomized three-way differential testing: the packed engine, the scalar
+// reference machine, and the symbolic static analyzer.
 //
 // Each case draws a seeded random march test (random orders including ⇕,
 // random operations including waits) and a random fault instance (random
 // FP bindings over the full static + retention FP space, a random instance
 // of a real linked fault, or a random address-decoder fault), then asserts
 // that the packed engine and the scalar oracle agree on the verdict *and*
-// the diagnostics (first detection event, first escaping scenario).
+// the diagnostics (first detection event, first escaping scenario), and
+// that every *definite* verdict of the static analyzer
+// (analysis/static_analyzer.hpp) matches them — the soundness contract that
+// licenses the generator's static pre-filter.
 //
 // Reproducibility: every case derives from a single 64-bit seed printed on
 // failure.  Replay one case with MTG_FUZZ_SEED=<seed>; change the case count
@@ -20,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/static_analyzer.hpp"
 #include "fp/fault_list.hpp"
 #include "fp/fp_library.hpp"
 #include "march/march_test.hpp"
@@ -206,6 +210,22 @@ std::string divergence(const FuzzCase& fuzz) {
       simulator.detects_scalar(fuzz.test, fuzz.instance)) {
     return "detects() disagrees with detects_scalar()";
   }
+  // Third leg: a definite verdict from the symbolic analyzer must agree
+  // with both engines (static == packed == scalar); Unknown is its licensed
+  // fall-back-to-simulation answer and never a divergence.
+  AnalysisOptions analysis_options;
+  analysis_options.both_power_on_states = fuzz.both_power_on_states;
+  const StaticResult statics =
+      analyze_instance(fuzz.test, fuzz.instance, analysis_options);
+  if (statics.definite() &&
+      (statics.verdict == StaticVerdict::Detected) != scalar.detected) {
+    return "static analyzer disagrees:\n  static: " +
+           to_string(statics.verdict) +
+           (statics.witness.has_value()
+                ? " | witness: " + statics.witness->to_string()
+                : " | reason: " + statics.reason) +
+           "\n  scalar: " + scalar_verdict;
+  }
   return {};
 }
 
@@ -296,7 +316,7 @@ TEST(DifferentialFuzz, PackedMatchesScalarVerdictsAndDiagnostics) {
     const std::string failure = divergence(fuzz);
     if (failure.empty()) continue;
     const FuzzCase minimal = shrink(fuzz);
-    ADD_FAILURE() << "packed/scalar divergence\n"
+    ADD_FAILURE() << "three-way static/packed/scalar divergence\n"
                   << describe(minimal, seed) << "\n"
                   << divergence(minimal);
     if (++failures >= 3) break;  // enough repro material; stop the sweep
