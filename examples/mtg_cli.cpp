@@ -26,7 +26,20 @@
 //   mtg_cli coverage ... --store <dir>
 //       persistent result cache (store/sweep_store.hpp): external catalogs
 //       key by the same canonical-serialization hashes as built-ins, so
-//       re-runs hit the store (0 points evaluated) with no schema change
+//       re-runs hit the store (0 points evaluated) with no schema change.
+//       --store-retries / --store-backoff-ms tune the write-retry ladder
+//   mtg_cli matrix <jobfile> [--threads <k>] [--queue-capacity <q>]
+//           [--reject] [--store <dir>]
+//       batch front end of the coverage-matrix service
+//       (service/matrix_service.hpp): submits every job of a 'jobs v1' file
+//       (service/job_file.hpp) and streams one JSON line per completed job
+//       to stdout, summary to stderr.  --reject switches the backpressure
+//       policy from Block to Reject; Ctrl-C cancels the remaining jobs and
+//       reports the completed ones (exit 130)
+//
+// SIGINT/SIGTERM trip one cooperative cancel token: 'matrix' and
+// 'coverage --sweep' stop in bounded time, flush completed results (and the
+// store), and report a partial summary instead of dying mid-write.
 //   mtg_cli lint [<test>...] [<list>] [n] [--list-file <path>]
 //           [--suite-file <path>]
 //       static catalog linter (analysis/lint.hpp): flags redundant march
@@ -45,14 +58,22 @@
 //   mtg_cli dot <g0|pgcf>
 //       print the Figure 2 / Figure 4 graph as GraphViz DOT
 #include <algorithm>
+#include <csignal>
+#include <cstdio>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/lint.hpp"
 #include "analysis/static_analyzer.hpp"
+#include "common/cancel.hpp"
 #include "common/parse.hpp"
+#include "service/job_file.hpp"
+#include "service/matrix_service.hpp"
 #include "format/catalog_io.hpp"
 #include "fp/fault_list.hpp"
 #include "gen/generator.hpp"
@@ -66,6 +87,21 @@
 namespace {
 
 using namespace mtg;
+
+/// The process-wide interrupt token: SIGINT/SIGTERM trip it, and every
+/// cancellable command ('matrix', 'coverage --sweep') polls it.  cancel() is
+/// one lock-free CAS, so calling it from the handler is async-signal-safe.
+CancelToken g_interrupt;
+
+extern "C" void handle_interrupt(int) { g_interrupt.cancel(); }
+
+void install_interrupt_handler() {
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+}
+
+/// Exit status for an interrupted run: the shell convention 128 + SIGINT.
+constexpr int kInterruptedExit = 130;
 
 FaultList list_by_name(const std::string& name) {
   if (name == "list1") return fault_list_1();
@@ -179,13 +215,15 @@ void print_store_stats(const SweepStore& store, const std::string& path) {
 
 int cmd_sweep(const MarchTest& test, const FaultList& list,
               const std::string& size_list, std::size_t cap,
-              const std::string& store_path) {
+              const std::string& store_path,
+              const SweepStoreOptions& store_options) {
   SweepOptions options;
   options.max_instances_per_fault = cap;
+  options.cancel = &g_interrupt;  // Ctrl-C skips the remaining points
   PosixStorage storage;
   std::optional<SweepStore> store;
   if (!store_path.empty()) {
-    store.emplace(storage, store_path);
+    store.emplace(storage, store_path, store_options);
     store->open();  // failure degrades to store-less with a warning
     options.store = &*store;
   }
@@ -198,7 +236,9 @@ int cmd_sweep(const MarchTest& test, const FaultList& list,
             << cap << "):\n"
             << sweep_summary(points);
   for (const SweepPoint& point : points) {
-    if (point.report.full_coverage()) continue;
+    // Cancelled points have no report (never partial) — the summary table
+    // above already marks them; full-coverage rows need no detail line.
+    if (point.cancelled || point.report.full_coverage()) continue;
     std::cout << "n=" << point.memory_size << ": "
               << point.report.summary() << "\n";
   }
@@ -206,6 +246,17 @@ int cmd_sweep(const MarchTest& test, const FaultList& list,
     std::cout << "points evaluated: " << sweep_points_evaluated(points)
               << " of " << points.size() << "\n";
     print_store_stats(*store, store_path);
+  }
+  if (g_interrupt.cancelled()) {
+    // Completed points printed and (with --store) persisted above — the
+    // re-run resumes from them; only the cancelled rows recompute.
+    const std::size_t done =
+        static_cast<std::size_t>(std::count_if(
+            points.begin(), points.end(),
+            [](const SweepPoint& p) { return !p.cancelled; }));
+    std::cerr << "interrupted: " << done << " of " << points.size()
+              << " sweep points completed before cancellation\n";
+    return kInterruptedExit;
   }
   const bool all_covered =
       std::all_of(points.begin(), points.end(), [](const SweepPoint& p) {
@@ -215,13 +266,14 @@ int cmd_sweep(const MarchTest& test, const FaultList& list,
 }
 
 int cmd_coverage(const MarchTest& test, const FaultList& list, std::size_t n,
-                 const std::string& store_path) {
+                 const std::string& store_path,
+                 const SweepStoreOptions& store_options) {
   if (!store_path.empty()) {
     // Route through the sweep path so the single point reads/writes the
     // store like any grid cell.  Full enumeration (cap 0) matches the
     // store-less branch below, so the printed report is byte-identical.
     PosixStorage storage;
-    SweepStore store(storage, store_path);
+    SweepStore store(storage, store_path, store_options);
     store.open();
     SweepOptions options;
     options.max_instances_per_fault = 0;
@@ -374,6 +426,151 @@ int cmd_dot(const std::string& which) {
   throw Error("unknown graph '" + which + "' (use g0 or pgcf)");
 }
 
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int cmd_matrix(const std::string& path, std::size_t threads,
+               std::size_t queue_capacity, bool reject,
+               const std::string& store_path,
+               const SweepStoreOptions& store_options) {
+  const JobFile file = load_job_file(path);
+  std::optional<MarchSuite> suite;
+  if (!file.suite_path.empty()) suite = load_march_suite_file(file.suite_path);
+  // Catalogs load once and are shared: many jobs typically name the same
+  // list, and the service's instantiation cache borrows the shared object.
+  std::map<std::string, std::shared_ptr<const FaultList>> lists;
+  for (const auto& [alias, list_path] : file.fault_list_files) {
+    lists[alias] =
+        std::make_shared<const FaultList>(load_fault_list_file(list_path));
+  }
+  const auto list_for = [&](const std::string& name) {
+    const auto it = lists.find(name);
+    if (it != lists.end()) return it->second;
+    const auto list = std::make_shared<const FaultList>(list_by_name(name));
+    lists.emplace(name, list);
+    return list;
+  };
+
+  // Resolve every job before submitting any: a typo in job 40 should be a
+  // clean file:line diagnostic, not 39 evaluations followed by an error.
+  struct ResolvedJob {
+    MatrixJob job;
+    std::string test_display;
+    std::string list_display;
+  };
+  std::vector<ResolvedJob> resolved;
+  resolved.reserve(file.jobs.size());
+  for (const JobFileRecord& record : file.jobs) {
+    try {
+      ResolvedJob entry;
+      entry.job.test = resolve_test(record.test_spec,
+                                    suite.has_value() ? &*suite : nullptr);
+      entry.job.list = list_for(record.list_name);
+      entry.job.memory_size = record.memory_size;
+      entry.job.max_instances_per_fault = record.max_instances_per_fault;
+      entry.job.deadline = record.deadline;
+      // Display the spec as written: a suite/catalog name stays a name,
+      // march notation stays notation (its parsed "name" is a source tag).
+      entry.test_display = record.test_spec;
+      entry.list_display = record.list_name;
+      resolved.push_back(std::move(entry));
+    } catch (const Error& e) {
+      throw Error(path + ":" + std::to_string(record.line) + ": " + e.what());
+    }
+  }
+
+  PosixStorage storage;
+  std::optional<SweepStore> store;
+  if (!store_path.empty()) {
+    store.emplace(storage, store_path, store_options);
+    store->open();  // failure degrades to store-less with a warning
+  }
+
+  // One JSON line per terminal job, streamed from the workers as jobs land
+  // (completion order, not submission order — the job id ties them back).
+  std::mutex output_mutex;
+  MatrixServiceOptions options;
+  options.threads = threads;
+  options.queue_capacity = queue_capacity;
+  options.when_full =
+      reject ? BackpressurePolicy::Reject : BackpressurePolicy::Block;
+  options.store = store.has_value() ? &*store : nullptr;
+  options.cancel = &g_interrupt;
+  options.on_result = [&](const MatrixJobResult& result) {
+    const ResolvedJob& entry = resolved[result.job_id];
+    std::lock_guard<std::mutex> lock(output_mutex);
+    std::cout << "{\"job\":" << result.job_id << ",\"test\":\""
+              << json_escape(entry.test_display) << "\",\"list\":\""
+              << json_escape(entry.list_display) << "\",\"n\":"
+              << entry.job.memory_size << ",\"cap\":"
+              << entry.job.max_instances_per_fault << ",\"status\":\""
+              << to_string(result.status) << "\"";
+    if (result.status == JobStatus::Completed) {
+      std::cout << ",\"faults_covered\":" << result.report.faults_covered()
+                << ",\"faults_total\":" << result.report.faults_total()
+                << ",\"instances_detected\":"
+                << result.report.instances_detected()
+                << ",\"instances_total\":" << result.report.instances_total()
+                << ",\"from_store\":"
+                << (result.from_store ? "true" : "false");
+    }
+    if (!result.error.empty()) {
+      std::cout << ",\"error\":\"" << json_escape(result.error) << "\"";
+    }
+    std::cout << "}\n" << std::flush;
+  };
+
+  std::vector<MatrixJobResult> results;
+  {
+    MatrixService service(options);
+    for (const ResolvedJob& entry : resolved) {
+      // After an interrupt the submission loop stops: already-queued jobs
+      // drain as Cancelled, unsubmitted ones are never admitted.
+      if (g_interrupt.cancelled()) break;
+      service.submit(entry.job);
+    }
+    results = service.drain();
+    const MatrixServiceStats stats = service.stats();
+    std::lock_guard<std::mutex> lock(output_mutex);
+    std::cerr << "matrix: " << stats.completed << " completed ("
+              << stats.store_hits << " from store), " << stats.failed
+              << " failed, " << stats.cancelled << " cancelled, "
+              << stats.deadline_exceeded << " deadline-exceeded, "
+              << stats.rejected << " rejected of " << resolved.size()
+              << " jobs\n";
+  }
+  if (store.has_value()) print_store_stats(*store, store_path);
+
+  if (g_interrupt.cancelled()) return kInterruptedExit;
+  const bool all_completed =
+      results.size() == resolved.size() &&
+      std::all_of(results.begin(), results.end(),
+                  [](const MatrixJobResult& r) {
+                    return r.status == JobStatus::Completed;
+                  });
+  return all_completed ? 0 : 1;
+}
+
 int usage() {
   std::cerr
       << "usage:\n"
@@ -389,6 +586,12 @@ int usage() {
          "--suite-file) a suite\n"
       << "    test name; defaults to \"March SL\" when omitted\n"
       << "    <list>: a built-in list name, or --list-file <path> instead\n"
+      << "  mtg_cli matrix <jobfile> [--threads <k>] [--queue-capacity <q>] "
+         "[--reject] [--store <dir>]\n"
+      << "    batch coverage-matrix service over a 'jobs v1' file; one JSON "
+         "line per job\n"
+      << "  (stores: --store-retries <k> and --store-backoff-ms <ms> tune "
+         "the write-retry ladder)\n"
       << "  mtg_cli lint [<test>...] [<list>] [n] [--list-file <path>] "
          "[--suite-file <path>]\n"
       << "  mtg_cli check <path>...\n"
@@ -411,12 +614,15 @@ int main(int argc, char** argv) {
       return cmd_check(std::vector<std::string>(argv + 2, argv + argc));
     }
     if (command == "lists" || command == "generate" ||
-        command == "coverage" || command == "lint") {
+        command == "coverage" || command == "lint" || command == "matrix") {
       // Shared flag/positional split for the catalog-aware commands.
       std::vector<std::string> positional;
       std::string list_file, suite_file, sweep_sizes, store_path;
       std::size_t cap = 4096;
       bool stats = false;
+      std::size_t threads = 0, queue_capacity = 256;
+      bool reject = false;
+      SweepStoreOptions store_options;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list-file" && i + 1 < argc) {
@@ -429,6 +635,22 @@ int main(int argc, char** argv) {
           cap = parse_count(argv[++i], "--cap");
         } else if (arg == "--store" && i + 1 < argc) {
           store_path = argv[++i];
+        } else if (arg == "--store-retries" && i + 1 < argc) {
+          const std::size_t retries =
+              parse_count(argv[++i], "--store-retries");
+          require(retries >= 1 && retries <= 1000,
+                  "--store-retries must be between 1 and 1000");
+          store_options.max_write_attempts = static_cast<int>(retries);
+        } else if (arg == "--store-backoff-ms" && i + 1 < argc) {
+          store_options.retry_backoff = std::chrono::milliseconds(
+              parse_count(argv[++i], "--store-backoff-ms"));
+        } else if (arg == "--threads" && i + 1 < argc) {
+          threads = parse_count(argv[++i], "--threads");
+        } else if (arg == "--queue-capacity" && i + 1 < argc) {
+          queue_capacity = parse_count(argv[++i], "--queue-capacity");
+          require(queue_capacity >= 1, "--queue-capacity must be >= 1");
+        } else if (arg == "--reject") {
+          reject = true;
         } else if (arg == "--stats") {
           stats = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -437,6 +659,17 @@ int main(int argc, char** argv) {
           positional.push_back(arg);
         }
       }
+
+      if (command == "matrix") {
+        if (positional.size() != 1 || stats || !sweep_sizes.empty() ||
+            !list_file.empty() || !suite_file.empty()) {
+          return usage();
+        }
+        install_interrupt_handler();
+        return cmd_matrix(positional[0], threads, queue_capacity, reject,
+                          store_path, store_options);
+      }
+      if (threads != 0 || queue_capacity != 256 || reject) return usage();
 
       if (command == "lists") {
         if (!positional.empty() || stats) return usage();
@@ -522,9 +755,12 @@ int main(int argc, char** argv) {
                                                                  : nullptr);
       if (!sweep_sizes.empty()) {
         if (n.has_value()) return usage();  // [n] is the non-sweep form
-        return cmd_sweep(test, list, sweep_sizes, cap, store_path);
+        install_interrupt_handler();
+        return cmd_sweep(test, list, sweep_sizes, cap, store_path,
+                         store_options);
       }
-      return cmd_coverage(test, list, n.value_or(6), store_path);
+      return cmd_coverage(test, list, n.value_or(6), store_path,
+                          store_options);
     }
     if (command == "dot" && argc > 2) return cmd_dot(argv[2]);
     return usage();

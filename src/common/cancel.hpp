@@ -1,0 +1,137 @@
+// Cooperative cancellation with deadlines.
+//
+// A CancelToken is the one-way switch a long-running computation polls at
+// chunk granularity: once it trips — by an explicit cancel() or by an
+// attached deadline passing — every subsequent cause()/check() observes the
+// same, first cause (a token never "un-cancels", and a deadline racing an
+// explicit cancel latches exactly one winner).  check() converts the trip
+// into a CancelledError, which unwinds through the thread pool's exception
+// plumbing (common/parallel.hpp captures and rethrows on the submitting
+// thread), so a cancelled evaluate_coverage/sweep_coverage stops in bounded
+// time and never produces a partial report.
+//
+// Tokens chain: a token constructed with a parent also trips when the parent
+// does (cause Cancelled).  The matrix service gives every job its own token
+// (per-job cancel + deadline) parented to one service-wide token (shutdown,
+// SIGINT), so one switch stops everything without touching per-job state.
+//
+// cancel() is a single lock-free atomic compare-exchange: it is safe to call
+// from a POSIX signal handler (the mtg_cli SIGINT path does exactly that).
+// set_deadline() publishes through an atomic too, but is meant to be called
+// before the token is shared with the computation.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace mtg {
+
+/// Why a token tripped.  None means "still live".
+enum class CancelCause : unsigned char {
+  None = 0,
+  Cancelled = 1,         ///< explicit cancel() (or a parent token tripping)
+  DeadlineExceeded = 2,  ///< the attached deadline passed
+};
+
+inline const char* to_string(CancelCause cause) noexcept {
+  switch (cause) {
+    case CancelCause::Cancelled:
+      return "cancelled";
+    case CancelCause::DeadlineExceeded:
+      return "deadline exceeded";
+    case CancelCause::None:
+      break;
+  }
+  return "not cancelled";
+}
+
+/// Thrown by CancelToken::check() at a cooperative cancellation point.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(CancelCause cause)
+      : Error(std::string("computation ") + to_string(cause)), cause_(cause) {}
+
+  CancelCause cause() const noexcept { return cause_; }
+
+ private:
+  CancelCause cause_;
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// A token that also trips (cause Cancelled) when `parent` trips.
+  /// `parent` must outlive this token.
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Attaches an absolute deadline; cause() reports DeadlineExceeded once it
+  /// passes.  Call before sharing the token with the computation.
+  void set_deadline(std::chrono::steady_clock::time_point when) noexcept {
+    deadline_ns_.store(when.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+
+  /// Convenience: a deadline `budget` from now (no-op for a zero budget —
+  /// "no deadline", not "already expired").
+  void set_deadline_after(std::chrono::milliseconds budget) noexcept {
+    if (budget.count() > 0) {
+      set_deadline(std::chrono::steady_clock::now() + budget);
+    }
+  }
+
+  /// Trips the token (first cause wins).  Lock-free and async-signal-safe.
+  void cancel() noexcept { latch(CancelCause::Cancelled); }
+
+  /// The latched cause, tripping the deadline / consulting the parent first
+  /// as needed.  None while the token is live.
+  CancelCause cause() const noexcept {
+    const auto latched = static_cast<CancelCause>(
+        cause_.load(std::memory_order_acquire));
+    if (latched != CancelCause::None) return latched;
+    if (parent_ != nullptr && parent_->cause() != CancelCause::None) {
+      latch(CancelCause::Cancelled);
+      return static_cast<CancelCause>(cause_.load(std::memory_order_acquire));
+    }
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_acquire);
+    if (deadline != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >=
+            deadline) {
+      latch(CancelCause::DeadlineExceeded);
+      return static_cast<CancelCause>(cause_.load(std::memory_order_acquire));
+    }
+    return CancelCause::None;
+  }
+
+  bool cancelled() const noexcept { return cause() != CancelCause::None; }
+
+  /// The cooperative cancellation point: throws CancelledError once the
+  /// token tripped, returns otherwise.
+  void check() const {
+    const CancelCause why = cause();
+    if (why != CancelCause::None) throw CancelledError(why);
+  }
+
+ private:
+  /// First cause wins: a concurrent cancel() and deadline trip latch exactly
+  /// one value, and it never changes afterwards.
+  void latch(CancelCause cause) const noexcept {
+    unsigned char expected = 0;
+    cause_.compare_exchange_strong(expected,
+                                   static_cast<unsigned char>(cause),
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire);
+  }
+
+  const CancelToken* parent_ = nullptr;
+  mutable std::atomic<unsigned char> cause_{0};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< steady_clock ns; 0 = none
+};
+
+}  // namespace mtg

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
+
 namespace mtg {
 
 ThreadPool::ThreadPool(std::size_t num_workers) {
@@ -34,14 +36,29 @@ void ThreadPool::worker_loop() {
     my_index = next_worker_index_++;
   }
   for (;;) {
+    std::packaged_task<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock, [&] {
-        return stopping_ || generation_ != seen_generation;
+        return stopping_ || !tasks_.empty() ||
+               generation_ != seen_generation;
       });
-      if (stopping_) return;
-      seen_generation = generation_;
-      ++in_flight_;
+      if (!tasks_.empty()) {
+        // Queued tasks win over batch participation: a parallel_for caller
+        // participates itself and can finish every chunk alone, while a
+        // queued task has no fallback executor.
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (stopping_) {
+        return;  // queue drained — now the pool may go down
+      } else {
+        seen_generation = generation_;
+        ++in_flight_;
+      }
+    }
+    if (task.valid()) {
+      task();  // packaged_task captures any exception into its future
+      continue;
     }
     run_chunks(my_index);
     {
@@ -50,6 +67,20 @@ void ThreadPool::worker_loop() {
       if (in_flight_ == 0) batch_done_.notify_all();
     }
   }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  require(!workers_.empty(),
+          "ThreadPool::submit needs at least one worker thread");
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    require(!stopping_, "ThreadPool::submit after shutdown began");
+    tasks_.push_back(std::move(packaged));
+  }
+  work_ready_.notify_one();
+  return future;
 }
 
 void ThreadPool::run_chunks(std::size_t worker_index) {

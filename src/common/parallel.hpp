@@ -1,17 +1,32 @@
-// A bounded thread pool with a blocking parallel_for.
+// A bounded thread pool with a blocking parallel_for and a FIFO task queue.
 //
-// Work items [0, count) are split into contiguous chunks that workers (and
-// the calling thread, which participates) claim dynamically — simple load
-// balancing without per-item dispatch overhead.  One batch runs at a time;
-// concurrent parallel_for calls on the same pool serialize.  Used by
-// sim/coverage.cpp to spread fault instances across cores.
+// Two scheduling modes share one set of worker threads:
+//
+//  * parallel_for — work items [0, count) are split into contiguous chunks
+//    that workers (and the calling thread, which participates) claim
+//    dynamically — simple load balancing without per-item dispatch overhead.
+//    One batch runs at a time; concurrent parallel_for calls on the same
+//    pool serialize.  Used by sim/coverage.cpp to spread fault instances
+//    across cores.
+//  * submit — independent tasks dispatched FIFO to whichever worker frees up
+//    first; the returned future carries the task's exception back to the
+//    submitting thread (a worker never lets one escape).  Used by
+//    service/matrix_service.hpp as the job dispatch queue.
+//
+// Workers prefer queued tasks over joining a pending batch; a parallel_for
+// still completes under a task backlog because its caller participates and
+// can drain every chunk alone.  Exceptions never escape a worker in either
+// mode: parallel_for rethrows the first one on the calling thread (remaining
+// chunks drain), submit delivers them through the future.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -40,6 +55,15 @@ class ThreadPool {
   /// here (remaining chunks still run to completion).
   void parallel_for(std::size_t count, std::size_t chunk, const RangeFn& fn);
 
+  /// Enqueues `task` to run on one worker thread; tasks dispatch in FIFO
+  /// order as workers free up.  An exception thrown by the task is captured
+  /// and rethrown to whoever waits on the returned future — it never
+  /// escapes the worker.  Tasks still queued when the pool is destroyed run
+  /// to completion first (drain, not drop).  Requires num_workers() >= 1
+  /// (there is no inline fallback: a queued task must not run on the
+  /// submitting thread, which may hold locks the task takes).
+  std::future<void> submit(std::function<void()> task);
+
   /// Resolves a requested thread count: 0 → hardware concurrency (≥ 1).
   static std::size_t resolve_thread_count(std::size_t requested);
 
@@ -66,6 +90,9 @@ class ThreadPool {
   std::size_t next_worker_index_ = 0;
   std::exception_ptr first_error_;
   std::atomic<std::size_t> next_{0};
+
+  // FIFO task queue (guarded by mutex_); workers drain it before batches.
+  std::deque<std::packaged_task<void()>> tasks_;
 };
 
 }  // namespace mtg

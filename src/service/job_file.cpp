@@ -1,0 +1,244 @@
+#include "service/job_file.hpp"
+
+#include <cctype>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "format/catalog_io.hpp"
+#include "format/reader.hpp"
+
+namespace mtg {
+
+namespace {
+
+std::size_t skip_ws(std::string_view line, std::size_t pos) {
+  const std::size_t next = line.find_first_not_of(" \t", pos);
+  return next == std::string_view::npos ? line.size() : next;
+}
+
+/// Reads a bare token (run of non-whitespace); leaves `pos` past it.
+std::string_view read_token(std::string_view line, std::size_t& pos) {
+  const std::size_t begin = pos;
+  while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') ++pos;
+  return line.substr(begin, pos - begin);
+}
+
+/// Reads a quoted string starting at `pos` (which must point at the opening
+/// '"'); '\"' and '\\' escape.  Leaves `pos` just past the closing quote.
+std::string read_quoted(const LineReader& reader, std::size_t& pos,
+                        const char* what) {
+  const std::string_view line = reader.line();
+  if (pos >= line.size() || line[pos] != '"') {
+    reader.fail(pos + 1,
+                std::string("expected '\"' opening the quoted ") + what);
+  }
+  ++pos;
+  std::string value;
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\') {
+      if (pos + 1 >= line.size() ||
+          (line[pos + 1] != '"' && line[pos + 1] != '\\')) {
+        reader.fail(pos + 1, std::string("bad escape in ") + what +
+                                 " (only \\\" and \\\\ exist)");
+      }
+      ++pos;
+    }
+    value += line[pos];
+    ++pos;
+  }
+  if (pos >= line.size()) {
+    reader.fail(line.size() + 1, std::string("unterminated quoted ") + what);
+  }
+  ++pos;  // closing quote
+  return value;
+}
+
+/// Parses a non-negative decimal integer token at `pos`.
+std::size_t read_number(const LineReader& reader, std::size_t& pos,
+                        const char* what) {
+  const std::string_view line = reader.line();
+  const std::size_t begin = pos;
+  std::size_t value = 0;
+  while (pos < line.size() &&
+         std::isdigit(static_cast<unsigned char>(line[pos]))) {
+    const std::size_t digit = static_cast<std::size_t>(line[pos] - '0');
+    if (value > (SIZE_MAX - digit) / 10) {
+      reader.fail(begin + 1, std::string(what) + " value is out of range");
+    }
+    value = value * 10 + digit;
+    ++pos;
+  }
+  if (pos == begin) {
+    reader.fail(pos + 1, std::string("expected a number for ") + what);
+  }
+  if (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') {
+    reader.fail(pos + 1, std::string("trailing characters after the ") + what +
+                             " value");
+  }
+  return value;
+}
+
+bool valid_alias(std::string_view alias) {
+  if (alias.empty()) return false;
+  for (const char c : alias) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+JobFileRecord parse_job_record(const LineReader& reader) {
+  const std::string_view line = reader.line();
+  JobFileRecord job;
+  job.line = reader.line_number();
+  bool saw_test = false, saw_list = false, saw_n = false;
+  bool saw_cap = false, saw_deadline = false;
+  std::size_t pos = skip_ws(line, 3);  // past 'job'
+  while (pos < line.size()) {
+    const std::size_t key_begin = pos;
+    const std::size_t eq = line.find('=', pos);
+    if (eq == std::string_view::npos) {
+      reader.fail(pos + 1,
+                  "expected key=value (test=, list=, n=, cap=, deadline_ms=)");
+    }
+    const std::string_view key = line.substr(pos, eq - pos);
+    pos = eq + 1;
+    if (key == "test") {
+      if (saw_test) reader.fail(key_begin + 1, "duplicate test= field");
+      saw_test = true;
+      job.test_spec = read_quoted(reader, pos, "test spec");
+      if (job.test_spec.empty()) {
+        reader.fail(key_begin + 1, "test= spec must not be empty");
+      }
+    } else if (key == "list") {
+      if (saw_list) reader.fail(key_begin + 1, "duplicate list= field");
+      saw_list = true;
+      const std::string_view name = read_token(line, pos);
+      if (name.empty()) {
+        reader.fail(pos + 1, "expected a fault-list name after list=");
+      }
+      job.list_name = std::string(name);
+    } else if (key == "n") {
+      if (saw_n) reader.fail(key_begin + 1, "duplicate n= field");
+      saw_n = true;
+      job.memory_size = read_number(reader, pos, "n=");
+      if (job.memory_size < 3) {
+        reader.fail(key_begin + 1, "n= must be >= 3 (simulated memory size)");
+      }
+    } else if (key == "cap") {
+      if (saw_cap) reader.fail(key_begin + 1, "duplicate cap= field");
+      saw_cap = true;
+      job.max_instances_per_fault = read_number(reader, pos, "cap=");
+    } else if (key == "deadline_ms") {
+      if (saw_deadline) {
+        reader.fail(key_begin + 1, "duplicate deadline_ms= field");
+      }
+      saw_deadline = true;
+      job.deadline =
+          std::chrono::milliseconds(read_number(reader, pos, "deadline_ms="));
+    } else {
+      reader.fail(key_begin + 1,
+                  "unknown job field '" + std::string(key) +
+                      "=' (expected test=, list=, n=, cap=, deadline_ms=)");
+    }
+    pos = skip_ws(line, pos);
+  }
+  if (!saw_test) reader.fail(1, "job record is missing the test= field");
+  if (!saw_list) reader.fail(1, "job record is missing the list= field");
+  if (!saw_n) reader.fail(1, "job record is missing the n= field");
+  return job;
+}
+
+}  // namespace
+
+JobFile parse_job_file_text(std::string_view text, const std::string& source) {
+  LineReader reader(text, source);
+  if (!reader.next()) {
+    reader.fail_at_end("empty document: expected 'jobs v1' header");
+  }
+  if (reader.line() != "jobs v1") {
+    if (reader.line().substr(0, 4) == "jobs") {
+      reader.fail(5, "unsupported jobs format version (this reader "
+                     "understands 'jobs v1')");
+    }
+    reader.fail(1, "expected 'jobs v1' header, got '" +
+                       std::string(reader.line()) + "'");
+  }
+  JobFile file;
+  bool saw_suite = false;
+  while (reader.next()) {
+    const std::string_view line = reader.line();
+    std::size_t pos = 0;
+    const std::string_view keyword = read_token(line, pos);
+    if (keyword == "suite") {
+      if (!file.jobs.empty()) {
+        reader.fail(1, "directives must come before the first job record");
+      }
+      if (saw_suite) {
+        reader.fail(1, "duplicate suite directive (a job file binds at most "
+                       "one suite)");
+      }
+      saw_suite = true;
+      pos = skip_ws(line, pos);
+      file.suite_path = read_quoted(reader, pos, "suite path");
+      pos = skip_ws(line, pos);
+      if (pos < line.size()) {
+        reader.fail(pos + 1, "trailing characters after the suite path");
+      }
+    } else if (keyword == "faultlist") {
+      if (!file.jobs.empty()) {
+        reader.fail(1, "directives must come before the first job record");
+      }
+      pos = skip_ws(line, pos);
+      const std::size_t alias_column = pos + 1;
+      const std::string_view alias = read_token(line, pos);
+      if (!valid_alias(alias)) {
+        reader.fail(alias_column,
+                    "expected an alias (letters, digits, '_', '-') after "
+                    "'faultlist'");
+      }
+      for (const auto& [existing, path] : file.fault_list_files) {
+        if (existing == alias) {
+          reader.fail(alias_column,
+                      "duplicate faultlist alias '" + std::string(alias) + "'");
+        }
+      }
+      pos = skip_ws(line, pos);
+      std::string path = read_quoted(reader, pos, "faultlist path");
+      pos = skip_ws(line, pos);
+      if (pos < line.size()) {
+        reader.fail(pos + 1, "trailing characters after the faultlist path");
+      }
+      file.fault_list_files.emplace_back(std::string(alias), std::move(path));
+    } else if (keyword == "job") {
+      file.jobs.push_back(parse_job_record(reader));
+    } else {
+      reader.fail(1, "unknown record '" + std::string(keyword) +
+                         "' (expected: suite, faultlist or job)");
+    }
+  }
+  if (file.jobs.empty()) {
+    reader.fail_at_end("job file contains no jobs (at least one 'job' record "
+                       "is required)");
+  }
+  return file;
+}
+
+JobFile load_job_file(const std::string& path) {
+  JobFile file = parse_job_file_text(read_text_file(path), path);
+  // Relative directive paths resolve against the job file's own directory,
+  // so a job file travels with its catalogs.
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    const std::string dir = path.substr(0, slash + 1);
+    const auto resolve = [&](std::string& p) {
+      if (!p.empty() && p.front() != '/') p = dir + p;
+    };
+    resolve(file.suite_path);
+    for (auto& [alias, list_path] : file.fault_list_files) resolve(list_path);
+  }
+  return file;
+}
+
+}  // namespace mtg

@@ -1,0 +1,69 @@
+// Text format for coverage-matrix job files ('jobs v1') — the batch input
+// of `mtg_cli matrix`.
+//
+// Grammar (record per line; blank lines and full-line '#' comments ignored):
+//
+//   file      := header directive* job+
+//   header    := 'jobs v1'
+//   directive := 'suite' '"' path '"'
+//              | 'faultlist' alias '"' path '"'
+//   job       := 'job' 'test=' quoted 'list=' name 'n=' int
+//                ['cap=' int] ['deadline_ms=' int]
+//
+// Directives bind catalogs for the jobs below: `suite` (at most one) names a
+// 'suite v1' file whose test names become resolvable in test= specs;
+// `faultlist` binds an alias to a 'faultlist v1' file, usable in list=
+// alongside the built-in list names (list1, list2, simple, retention,
+// decoder — the front end resolves names, this parser only records them).
+// Relative paths resolve against the job file's own directory, so a job
+// file can ship next to its catalogs (examples/catalogs/matrix.jobs does).
+//
+// A test= spec is march notation when it contains '(' (a '(' is never part
+// of a test name), otherwise a test name resolved against the bound suite
+// and then the built-in catalog — exactly mtg_cli's coverage rule.
+//
+// Diagnostics follow the catalog-format convention: every violation throws
+// ParseError as "<source>:<line>:<column>: <message>" with the offending
+// line excerpted (format/reader.hpp).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mtg {
+
+/// One 'job' record, unresolved: specs and names as written (resolution
+/// against catalogs is the front end's job — the parser has no file system).
+struct JobFileRecord {
+  std::string test_spec;  ///< test name or march notation
+  std::string list_name;  ///< built-in list name or faultlist alias
+  std::size_t memory_size = 0;
+  std::size_t max_instances_per_fault = 4096;  ///< cap= (default: no key set)
+  std::chrono::milliseconds deadline{0};       ///< deadline_ms= (0 = none)
+  std::size_t line = 0;  ///< 1-based line in the job file (diagnostics)
+};
+
+struct JobFile {
+  /// suite directive path, resolved against the job file's directory by
+  /// load_job_file(); empty when the file binds no suite.
+  std::string suite_path;
+  /// faultlist directives in order: alias -> resolved path.
+  std::vector<std::pair<std::string, std::string>> fault_list_files;
+  std::vector<JobFileRecord> jobs;
+};
+
+/// Parses the 'jobs v1' text format.  Throws mtg::ParseError
+/// (line:column-annotated) on malformed input, duplicate aliases, a second
+/// suite directive, a directive after the first job, or an empty job list.
+/// Paths are recorded as written (no directory resolution).
+JobFile parse_job_file_text(std::string_view text,
+                            const std::string& source = "<string>");
+
+/// read_text_file + parse_job_file_text with the path as the source name,
+/// then resolves relative directive paths against the job file's directory.
+JobFile load_job_file(const std::string& path);
+
+}  // namespace mtg

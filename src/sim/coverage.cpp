@@ -1,9 +1,11 @@
 #include "sim/coverage.hpp"
 
 #include <iomanip>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "common/cancel.hpp"
 #include "common/parallel.hpp"
 #include "sim/packed_engine.hpp"
 
@@ -81,8 +83,11 @@ std::ostream& operator<<(std::ostream& os, const CoverageReport& report) {
 
 CoverageReport evaluate_coverage(const FaultSimulator& simulator,
                                  const MarchTest& test, const FaultList& list,
-                                 std::size_t max_instances_per_fault) {
+                                 std::size_t max_instances_per_fault,
+                                 const CancelToken* cancel,
+                                 const CoverageContext* context) {
   FaultSimulator::validate(test);
+  if (cancel != nullptr) cancel->check();
   CoverageReport report;
   report.test_name = test.name().empty() ? test.to_string() : test.name();
   report.list_name = list.name;
@@ -96,8 +101,17 @@ CoverageReport evaluate_coverage(const FaultSimulator& simulator,
     report.entries[i].covered = true;
   }
 
-  const std::vector<FaultInstance> instances = instantiate_all(
-      list, simulator.options().memory_size, max_instances_per_fault);
+  // Borrow the context's instantiation when supplied (the service shares one
+  // immutable vector across every job naming the same (list, n, cap)).
+  std::vector<FaultInstance> owned_instances;
+  const std::vector<FaultInstance>* instances_ptr =
+      context != nullptr ? context->instances : nullptr;
+  if (instances_ptr == nullptr) {
+    owned_instances = instantiate_all(
+        list, simulator.options().memory_size, max_instances_per_fault);
+    instances_ptr = &owned_instances;
+  }
+  const std::vector<FaultInstance>& instances = *instances_ptr;
   std::vector<std::uint8_t> detected(instances.size(), 0);
 
   if (simulator.options().use_packed_engine) {
@@ -105,11 +119,22 @@ CoverageReport evaluate_coverage(const FaultSimulator& simulator,
     // ⇕ numbering), then spread the instances over a bounded thread pool.
     // Per-instance state is stack-only (PackedFaultSim + lane blocks), so
     // workers share nothing but the compiled test and the verdict array.
-    const CompiledTest compiled = compile_march_test(test);
+    std::optional<CompiledTest> owned_compiled;
+    const CompiledTest* compiled =
+        context != nullptr ? context->compiled : nullptr;
+    if (compiled == nullptr) {
+      owned_compiled.emplace(compile_march_test(test));
+      compiled = &*owned_compiled;
+    }
     const auto evaluate = [&](std::size_t, std::size_t begin,
                               std::size_t end) {
+      // The per-chunk poll is the cooperative cancellation point: a tripped
+      // token stops every worker within one chunk (the throw lands in the
+      // pool's first_error and is rethrown on the calling thread).
+      if (cancel != nullptr) cancel->check();
       for (std::size_t i = begin; i < end; ++i) {
-        detected[i] = simulator.detects_compiled(test, compiled, instances[i]);
+        detected[i] = simulator.detects_compiled(test, *compiled,
+                                                 instances[i]);
       }
     };
     const std::size_t chunk = 16;
@@ -121,7 +146,16 @@ CoverageReport evaluate_coverage(const FaultSimulator& simulator,
     const std::size_t workers = std::min(
         threads - 1, instances.size() / chunk);
     if (threads <= 1 || workers == 0) {
-      evaluate(0, 0, instances.size());
+      if (cancel == nullptr) {
+        evaluate(0, 0, instances.size());
+      } else {
+        // Sequential path: chunk manually so the poll frequency matches the
+        // pooled path's cancellation latency.
+        for (std::size_t begin = 0; begin < instances.size();
+             begin += chunk) {
+          evaluate(0, begin, std::min(instances.size(), begin + chunk));
+        }
+      }
     } else {
       ThreadPool pool(workers);
       pool.parallel_for(instances.size(), chunk, evaluate);
@@ -129,6 +163,7 @@ CoverageReport evaluate_coverage(const FaultSimulator& simulator,
   } else {
     // Scalar reference path (sequential — the benchmarks' seed baseline).
     for (std::size_t i = 0; i < instances.size(); ++i) {
+      if (cancel != nullptr && (i % 16) == 0) cancel->check();
       detected[i] = simulator.detects_scalar(test, instances[i]);
     }
   }

@@ -7,9 +7,13 @@
 #include <vector>
 
 #include "march/march_test.hpp"
+#include "sim/fault_instance.hpp"
 #include "sim/simulator.hpp"
 
 namespace mtg {
+
+class CancelToken;       // common/cancel.hpp
+struct CompiledTest;     // sim/packed_engine.hpp
 
 /// Per-fault coverage outcome.
 struct CoverageEntry {
@@ -55,12 +59,34 @@ struct CoverageReport {
 
 std::ostream& operator<<(std::ostream& os, const CoverageReport& report);
 
+/// Precomputed evaluation artifacts the matrix service shares across jobs
+/// (service/matrix_service.hpp).  Both pointers are optional; when set they
+/// MUST match the (test, list, memory size, cap) of the call — the service
+/// guarantees that by keying its caches on the canonical-form stable hashes.
+/// The borrowed artifacts are read-only and may be shared by any number of
+/// concurrent evaluations.
+struct CoverageContext {
+  /// compile_march_test(test) — the compiled traces and ⇕ numbering
+  /// (packed path only; the scalar path ignores it).
+  const CompiledTest* compiled = nullptr;
+  /// instantiate_all(list, memory_size, max_instances_per_fault).
+  const std::vector<FaultInstance>* instances = nullptr;
+};
+
 /// Simulates every instance of every fault of `list` against `test`.
 /// `max_instances_per_fault` bounds the instantiation for large memories
 /// (0 = full enumeration; see instantiate_all): per-fault verdicts then
 /// refer to the deterministic layout sample, not the full layout space.
+///
+/// `cancel` (optional) is polled at chunk granularity: once the token trips,
+/// the evaluation throws CancelledError in bounded time — a handful of
+/// instance simulations — and NO report is produced (an interrupted
+/// evaluation never returns partial counts).  `context` (optional) supplies
+/// pre-compiled artifacts; see CoverageContext.
 CoverageReport evaluate_coverage(const FaultSimulator& simulator,
                                  const MarchTest& test, const FaultList& list,
-                                 std::size_t max_instances_per_fault = 0);
+                                 std::size_t max_instances_per_fault = 0,
+                                 const CancelToken* cancel = nullptr,
+                                 const CoverageContext* context = nullptr);
 
 }  // namespace mtg

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "store/sweep_store.hpp"
@@ -38,6 +39,12 @@ std::vector<SweepPoint> sweep_coverage(const MarchTest& test,
   const auto evaluate = [&](std::size_t, std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       points[i].memory_size = sizes[i];
+      // A tripped token drains the remaining points immediately; the report
+      // stays empty — a cancelled point is absent, never partial.
+      if (options.cancel != nullptr && options.cancel->cancelled()) {
+        points[i].cancelled = true;
+        continue;
+      }
       if (options.store != nullptr &&
           options.store->load(key_for(sizes[i]), points[i].report)) {
         // The record stores content, the caller supplies presentation: a
@@ -56,9 +63,16 @@ std::vector<SweepPoint> sweep_coverage(const MarchTest& test,
       // Each point evaluates sequentially on its worker: the parallelism
       // lives across sweep points, not inside them.
       sim_options.coverage_threads = 1;
-      points[i].report = evaluate_coverage(FaultSimulator(sim_options), test,
-                                           list,
-                                           options.max_instances_per_fault);
+      try {
+        points[i].report = evaluate_coverage(FaultSimulator(sim_options),
+                                             test, list,
+                                             options.max_instances_per_fault,
+                                             options.cancel);
+      } catch (const CancelledError&) {
+        points[i].report = CoverageReport{};
+        points[i].cancelled = true;
+        continue;
+      }
       if (options.store != nullptr) {
         // Persist the point as it lands: an interrupted sweep resumes from
         // every record that completed the atomic-replace protocol.  A save
@@ -95,6 +109,11 @@ std::string sweep_summary(const std::vector<SweepPoint>& points) {
   std::ostringstream out;
   out << "      n   faults covered   instances detected   coverage\n";
   for (const SweepPoint& point : points) {
+    if (point.cancelled) {
+      out << std::setw(7) << point.memory_size
+          << "   (cancelled before completion)\n";
+      continue;
+    }
     const CoverageReport& r = point.report;
     out << std::setw(7) << point.memory_size << "   " << std::setw(6)
         << r.faults_covered() << "/" << r.faults_total() << "        "

@@ -30,6 +30,7 @@
 
 namespace mtg {
 
+class CancelToken;  // common/cancel.hpp
 class SweepStore;
 
 struct SweepOptions {
@@ -49,6 +50,12 @@ struct SweepOptions {
   /// (possibly failing) store: a damaged or unavailable store only costs
   /// recomputation, never correctness.
   SweepStore* store = nullptr;
+  /// Optional cooperative cancellation (common/cancel.hpp).  Once the token
+  /// trips, points not yet completed are skipped (marked cancelled) and the
+  /// one mid-evaluation stops within a few instance simulations; completed
+  /// points are returned intact — with a store, an interrupted sweep has
+  /// already persisted them and a re-run resumes from there.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Coverage of one sweep point.
@@ -59,6 +66,9 @@ struct SweepPoint {
   /// evaluated — the per-point "engine call" indicator the warm-resume
   /// tests and benchmarks count.
   bool from_store = false;
+  /// True when SweepOptions::cancel tripped before this point completed;
+  /// `report` is then empty (never partial).
+  bool cancelled = false;
 };
 
 /// Number of points actually evaluated (not loaded from the store): 0 on a

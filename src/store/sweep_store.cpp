@@ -208,7 +208,24 @@ bool SweepStore::decode_record(std::string_view record, const SweepKey& key,
 
 SweepStore::SweepStore(Storage& storage, std::string root,
                        SweepStoreOptions options)
-    : storage_(storage), root_(std::move(root)), options_(std::move(options)) {}
+    : storage_(storage),
+      root_(std::move(root)),
+      options_(std::move(options)),
+      jitter_state_(options_.retry_jitter_seed) {}
+
+std::chrono::milliseconds SweepStore::backoff_delay_locked(int attempt) {
+  const auto base = options_.retry_backoff;
+  if (base.count() <= 0) return std::chrono::milliseconds{0};
+  // splitmix64 step — deterministic per-store jitter stream.
+  jitter_state_ += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = jitter_state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  const auto jitter = std::chrono::milliseconds(
+      static_cast<std::int64_t>(z % static_cast<std::uint64_t>(base.count())));
+  return base * (attempt - 1) + jitter;
+}
 
 void SweepStore::warn_locked(const std::string& message) {
   if (options_.warn) {
@@ -292,8 +309,11 @@ bool SweepStore::save(const SweepKey& key, const CoverageReport& report) {
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     if (attempt > 1) {
       ++stats_.save_retries;
-      if (options_.retry_backoff.count() > 0) {
-        std::this_thread::sleep_for(options_.retry_backoff * (attempt - 1));
+      const std::chrono::milliseconds delay = backoff_delay_locked(attempt);
+      if (options_.on_backoff) {
+        options_.on_backoff(delay);  // test seam: observe, don't sleep
+      } else if (delay.count() > 0) {
+        std::this_thread::sleep_for(delay);
       }
     }
     // Atomic replace: the record becomes visible under its final name only

@@ -88,11 +88,25 @@ struct SweepStoreStats {
 
 struct SweepStoreOptions {
   /// Write attempts per save before the store degrades to store-less
-  /// operation (>= 1).
+  /// operation (>= 1).  mtg_cli exposes this as --store-retries.
   int max_write_attempts = 3;
-  /// Backoff before the i-th retry: retry_backoff * i (bounded, linear).
-  /// Tests set this to zero.
+  /// Base backoff before the i-th retry; the actual delay is
+  ///
+  ///     retry_backoff * i + jitter,   jitter ~ uniform[0, retry_backoff)
+  ///
+  /// — bounded linear backoff with full-cycle jitter so concurrent writers
+  /// hitting the same transient failure don't retry in lock-step.  The
+  /// jitter scales with the base, so a zero backoff (the tests' setting)
+  /// stays exactly zero.  mtg_cli exposes the base as --store-backoff-ms.
   std::chrono::milliseconds retry_backoff{10};
+  /// Seed of the deterministic per-store jitter stream (splitmix64): equal
+  /// seeds replay equal jitter sequences, which is how the ladder tests
+  /// assert the bounds.
+  std::uint64_t retry_jitter_seed = 0x9E3779B97F4A7C15ull;
+  /// Test seam: when set, called with each computed backoff delay INSTEAD of
+  /// sleeping — ladder tests observe the exact delays (base, jitter bound,
+  /// determinism) without wall-clock waits.
+  std::function<void(std::chrono::milliseconds)> on_backoff;
   /// Degradation warnings land here; defaults to stderr when empty.
   std::function<void(const std::string&)> warn;
 };
@@ -145,12 +159,16 @@ class SweepStore {
 
  private:
   void warn_locked(const std::string& message);
+  /// The backoff delay before retry attempt `attempt` (>= 2): linear base
+  /// plus one deterministic jitter draw from the store's stream.
+  std::chrono::milliseconds backoff_delay_locked(int attempt);
 
   Storage& storage_;
   const std::string root_;
   const SweepStoreOptions options_;
   mutable std::mutex mutex_;
   SweepStoreStats stats_;
+  std::uint64_t jitter_state_;  ///< splitmix64 state (seeded from options)
   bool disabled_ = false;
   bool opened_ = false;
 };

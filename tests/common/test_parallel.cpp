@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "common/error.hpp"
 
 namespace mtg {
 namespace {
@@ -65,6 +70,81 @@ TEST(ThreadPool, PropagatesExceptions) {
 TEST(ThreadPool, ResolveThreadCount) {
   EXPECT_EQ(ThreadPool::resolve_thread_count(5), 5u);
   EXPECT_GE(ThreadPool::resolve_thread_count(0), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsTasksAndFuturesComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&] { ++ran; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, SubmitDeliversExceptionsThroughTheFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([] { throw std::runtime_error("task boom"); });
+  auto good = pool.submit([] {});
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // A throwing task poisons only its own future; the pool keeps serving
+  // tasks AND batches.
+  EXPECT_NO_THROW(good.get());
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(32, 4, [&](std::size_t, std::size_t begin,
+                               std::size_t end) { covered += end - begin; });
+  EXPECT_EQ(covered.load(), 32u);
+}
+
+TEST(ThreadPool, SubmitDispatchesFifoOnOneWorker) {
+  // One worker serializes the queue, exposing the dispatch order.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& future : futures) future.get();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i) << "position " << i;
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  // Destruction is drain-then-join, not drop: every accepted task runs.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPool, SubmitRequiresWorkers) {
+  // The inline (0-worker) configuration has nobody to run a deferred task.
+  ThreadPool pool(0);
+  EXPECT_THROW(pool.submit([] {}), Error);
+}
+
+TEST(ThreadPool, SubmitInterleavesWithParallelFor) {
+  // Tasks and chunk batches share the workers; neither starves the other.
+  ThreadPool pool(2);
+  std::atomic<int> tasks_ran{0};
+  std::vector<std::future<void>> futures;
+  for (int round = 0; round < 10; ++round) {
+    futures.push_back(pool.submit([&] { ++tasks_ran; }));
+    std::atomic<std::size_t> covered{0};
+    pool.parallel_for(64, 4, [&](std::size_t, std::size_t begin,
+                                 std::size_t end) { covered += end - begin; });
+    ASSERT_EQ(covered.load(), 64u) << "round " << round;
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(tasks_ran.load(), 10);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -303,6 +304,94 @@ TEST(SweepStore, FailedOpenDisablesTheStore) {
   EXPECT_FALSE(store.open());
   EXPECT_FALSE(store.enabled());
   EXPECT_EQ(warnings.size(), 1u);
+}
+
+TEST(SweepStoreBackoff, DelaysAreLinearInTheAttemptWithBoundedJitter) {
+  // Sticky failure + 4 attempts → 3 observed backoffs.  The i-th retry's
+  // delay is base*(attempt-1) + jitter with jitter in [0, base): attempt 2
+  // lands in [base, 2*base), attempt 3 in [2*base, 3*base), and so on.
+  InMemoryStorage mem;
+  FaultInjectedStorage faulty(mem);
+  SweepStoreOptions options;
+  options.max_write_attempts = 4;
+  options.retry_backoff = std::chrono::milliseconds{10};
+  options.warn = [](const std::string&) {};
+  std::vector<std::chrono::milliseconds> delays;
+  options.on_backoff = [&delays](std::chrono::milliseconds d) {
+    delays.push_back(d);  // seam: observed instead of slept
+  };
+  SweepStore store(faulty, "/store", options);
+  ASSERT_TRUE(store.open());
+  faulty.fail_kth_operation(1, StoreFaultMode::Error, /*sticky=*/true);
+  EXPECT_FALSE(store.save(sample_key(), sample_report()));
+  ASSERT_EQ(delays.size(), 3u);
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    const auto floor = std::chrono::milliseconds{10} * (i + 1);
+    EXPECT_GE(delays[i], floor) << "retry " << i;
+    EXPECT_LT(delays[i], floor + std::chrono::milliseconds{10})
+        << "retry " << i;
+  }
+  EXPECT_EQ(store.stats().save_retries, 3u);
+}
+
+TEST(SweepStoreBackoff, EqualSeedsReplayTheExactJitterSequence) {
+  const auto observe = [](std::uint64_t seed) {
+    InMemoryStorage mem;
+    FaultInjectedStorage faulty(mem);
+    SweepStoreOptions options;
+    options.max_write_attempts = 5;
+    options.retry_backoff = std::chrono::milliseconds{7};
+    options.retry_jitter_seed = seed;
+    options.warn = [](const std::string&) {};
+    std::vector<std::chrono::milliseconds> delays;
+    options.on_backoff = [&delays](std::chrono::milliseconds d) {
+      delays.push_back(d);
+    };
+    SweepStore store(faulty, "/store", options);
+    store.open();
+    faulty.fail_kth_operation(1, StoreFaultMode::Error, /*sticky=*/true);
+    store.save(sample_key(), sample_report());
+    return delays;
+  };
+  const auto first = observe(0xC0FFEEull);
+  const auto second = observe(0xC0FFEEull);
+  ASSERT_EQ(first.size(), 4u);
+  EXPECT_EQ(first, second) << "equal seeds must replay equal delays";
+}
+
+TEST(SweepStoreBackoff, ZeroBaseMeansZeroDelayEverywhere) {
+  // The jitter scales with the base, so a zero base stays exactly zero —
+  // this is what keeps the hermetic tests free of wall-clock sleeps.
+  InMemoryStorage mem;
+  FaultInjectedStorage faulty(mem);
+  SweepStoreOptions options = fast_options();
+  options.max_write_attempts = 4;
+  std::vector<std::chrono::milliseconds> delays;
+  options.on_backoff = [&delays](std::chrono::milliseconds d) {
+    delays.push_back(d);
+  };
+  SweepStore store(faulty, "/store", options);
+  ASSERT_TRUE(store.open());
+  faulty.fail_kth_operation(1, StoreFaultMode::Error, /*sticky=*/true);
+  EXPECT_FALSE(store.save(sample_key(), sample_report()));
+  ASSERT_EQ(delays.size(), 3u);
+  for (const auto delay : delays) EXPECT_EQ(delay.count(), 0);
+}
+
+TEST(SweepStoreBackoff, MaxWriteAttemptsBoundsTheWriteCount) {
+  // The knob mtg_cli exposes as --store-retries caps the I/O: a sticky
+  // failure makes exactly max_write_attempts write attempts, then disables.
+  InMemoryStorage mem;
+  FaultInjectedStorage faulty(mem);
+  SweepStoreOptions options = fast_options();
+  options.max_write_attempts = 5;
+  SweepStore store(faulty, "/store", options);
+  ASSERT_TRUE(store.open());
+  faulty.fail_kth_operation(1, StoreFaultMode::Error, /*sticky=*/true);
+  EXPECT_FALSE(store.save(sample_key(), sample_report()));
+  EXPECT_EQ(faulty.counts().writes, 5u);
+  EXPECT_EQ(store.stats().save_retries, 4u);
+  EXPECT_FALSE(store.enabled());
 }
 
 TEST(SweepStore, RecordPathIsStableAndKeyDependent) {
