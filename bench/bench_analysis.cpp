@@ -91,8 +91,22 @@ void run_generation(const char* list_name, const mtg::FaultList& list,
   generation_records().push_back(std::move(record));
 }
 
+double unknown_rate() {
+  std::size_t faults = 0;
+  std::size_t unknown = 0;
+  for (const AnalyzerRecord& r : analyzer_records()) {
+    faults += r.faults;
+    unknown += r.unknown;
+  }
+  return faults > 0 ? static_cast<double>(unknown) / static_cast<double>(faults)
+                    : 0.0;
+}
+
 void write_json(std::FILE* out) {
-  std::fprintf(out, "{\n  \"analyzer\": [\n");
+  std::fprintf(out,
+               "{\n  \"bench\": \"analysis\",\n  \"unknown_rate\": %.6f,\n"
+               "  \"analyzer\": [\n",
+               unknown_rate());
   for (std::size_t i = 0; i < analyzer_records().size(); ++i) {
     const AnalyzerRecord& r = analyzer_records()[i];
     std::fprintf(out,
@@ -182,6 +196,16 @@ int main(int argc, char** argv) {
                 on.list.c_str(),
                 on_window > 0.0 ? off_window / on_window : 0.0, off_window,
                 on_window);
+  }
+
+  // Zero-Unknown gate: every shipped (test, list) pair must resolve to a
+  // definite verdict; a nonzero rate means the analyzer's domain regressed.
+  if (unknown_rate() > 0.0) {
+    std::fprintf(stderr,
+                 "unknown_rate %.6f != 0 — an analyzer verdict regressed to "
+                 "Unknown\n",
+                 unknown_rate());
+    return 1;
   }
 
   if (json_path != nullptr) {

@@ -29,27 +29,49 @@
 //       re-runs hit the store (0 points evaluated) with no schema change.
 //       --store-retries / --store-backoff-ms tune the write-retry ladder
 //   mtg_cli matrix <jobfile> [--threads <k>] [--queue-capacity <q>]
-//           [--reject] [--store <dir>]
+//           [--reject] [--store <dir>] [--static-prefilter]
 //       batch front end of the coverage-matrix service
 //       (service/matrix_service.hpp): submits every job of a 'jobs v1' file
 //       (service/job_file.hpp) and streams one JSON line per completed job
 //       to stdout, summary to stderr.  --reject switches the backpressure
-//       policy from Block to Reject; Ctrl-C cancels the remaining jobs and
+//       policy from Block to Reject; --static-prefilter serves jobs the
+//       symbolic analyzer fully resolves without simulation (byte-identical
+//       reports; count on stderr); Ctrl-C cancels the remaining jobs and
 //       reports the completed ones (exit 130)
 //
 // SIGINT/SIGTERM trip one cooperative cancel token: 'matrix' and
 // 'coverage --sweep' stop in bounded time, flush completed results (and the
 // store), and report a partial summary instead of dying mid-write.
 //   mtg_cli lint [<test>...] [<list>] [n] [--list-file <path>]
-//           [--suite-file <path>]
+//           [--suite-file <path>] [--werror]
 //       static catalog linter (analysis/lint.hpp): flags redundant march
 //       elements, dead operations, duplicate/subsumed fault records and
 //       zero-instance faults at the given memory size (default 6), against
 //       a built-in list (default list1) or --list-file.  Tests come from
 //       the positional specs (march notation or catalog/suite names); with
 //       --suite-file and no specs, every suite test is linted.  Findings
-//       from catalog files carry path:line:column positions.  Exits 1 when
-//       anything is flagged
+//       from catalog files carry path:line:column positions.  Findings are
+//       warnings by default (exit 0); --werror exits 1 on any finding — the
+//       CI catalog-check mode
+//   mtg_cli lint --jobs-file <path> [--werror]
+//       lint a 'jobs v1' file instead (service/job_lint.hpp): duplicate
+//       (test, list, n, cap) jobs, references to tests/lists no directive
+//       defines, zero/implausible deadline_ms — path:line:column anchored
+//   mtg_cli optimize <suite-file> [n] [--list <universe-spec>]
+//           [--list-file <path>] [--out <path>]
+//       greedy minimal sub-suite preserving the suite's union static
+//       coverage over a fault universe (analysis/certificate.hpp), proved
+//       by the symbolic analyzer; emits a 'certificate v1' document (stdout
+//       or --out) whose per-dropped-test witness rows 'verify' re-checks.
+//       The universe is a closed-form spec ("list1", "simple+decoder[0,12)",
+//       families simple/retention/linked1/linked2/linked3/linkedrt/
+//       list1/list2; default list1) or an external --list-file
+//   mtg_cli verify <certificate-file> [--list-file <path>]
+//       re-check a certificate against the packed simulation engine: the
+//       universe hash must match, and every witness row must hold under
+//       full fault enumeration.  The universe re-materializes from the
+//       embedded spec; certificates over external lists need --list-file.
+//       Exits 1 when any check fails
 //   mtg_cli check <path>...
 //       parse catalog files (fault lists or suites), reporting
 //       path:line:column-annotated errors; the CI catalog-rot guard.  Adds
@@ -60,6 +82,7 @@
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -68,11 +91,14 @@
 #include <string>
 #include <vector>
 
+#include "analysis/certificate.hpp"
 #include "analysis/lint.hpp"
 #include "analysis/static_analyzer.hpp"
+#include "analysis/subsumption.hpp"
 #include "common/cancel.hpp"
 #include "common/parse.hpp"
 #include "service/job_file.hpp"
+#include "service/job_lint.hpp"
 #include "service/matrix_service.hpp"
 #include "format/catalog_io.hpp"
 #include "fp/fault_list.hpp"
@@ -337,9 +363,39 @@ int cmd_check(const std::vector<std::string>& paths) {
   return all_ok ? 0 : 1;
 }
 
+/// Prints the findings and maps them to an exit status: findings are
+/// warnings unless --werror promotes them (the CI catalog-check mode).
+int report_lint_findings(const std::vector<LintFinding>& findings,
+                         const std::string& clean_message, bool werror) {
+  for (const LintFinding& finding : findings) {
+    std::cout << finding.format() << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << clean_message << "\n";
+    return 0;
+  }
+  std::cout << findings.size() << " lint finding(s)"
+            << (werror ? " (treated as errors)" : "") << "\n";
+  return werror ? 1 : 0;
+}
+
+int cmd_lint_jobs(const std::string& jobs_file, bool werror) {
+  JobFilePositions positions;
+  const JobFile file = load_job_file(jobs_file, &positions);
+  std::optional<MarchSuite> suite;
+  if (!file.suite_path.empty()) suite = load_march_suite_file(file.suite_path);
+  const std::vector<LintFinding> findings = lint_job_file(
+      file, suite.has_value() ? &*suite : nullptr, {}, jobs_file, &positions);
+  return report_lint_findings(
+      findings,
+      "clean: no lint findings in " + jobs_file + " (" +
+          std::to_string(file.jobs.size()) + " jobs)",
+      werror);
+}
+
 int cmd_lint(const std::vector<std::string>& test_specs,
              const std::string& list_name, const std::string& list_file,
-             const std::string& suite_file, std::size_t n) {
+             const std::string& suite_file, std::size_t n, bool werror) {
   LintOptions options;
   options.memory_size = n;
   std::vector<LintFinding> findings;
@@ -402,16 +458,67 @@ int cmd_lint(const std::vector<std::string>& test_specs,
                     test_findings.end());
   }
 
-  for (const LintFinding& finding : findings) {
-    std::cout << finding.format() << "\n";
+  return report_lint_findings(findings,
+                              "clean: no lint findings against " + list.name +
+                                  " at n=" + std::to_string(n),
+                              werror);
+}
+
+int cmd_optimize(const std::string& suite_path,
+                 const std::string& universe_spec,
+                 const std::string& list_file, std::size_t n,
+                 const std::string& out_path) {
+  const MarchSuite suite = load_march_suite_file(suite_path);
+  FaultList universe;
+  std::string spec;
+  if (!list_file.empty()) {
+    // External universes have no closed-form spec: the certificate pins
+    // them by content hash, and 'verify' needs the same --list-file.
+    universe = load_fault_list_file(list_file);
+  } else {
+    const FaultUniverse parsed =
+        FaultUniverse::parse(universe_spec.empty() ? "list1" : universe_spec);
+    universe = parsed.materialize();
+    spec = parsed.spec();
   }
-  if (findings.empty()) {
-    std::cout << "clean: no lint findings against " << list.name << " at n="
-              << n << "\n";
-    return 0;
+  const Certificate cert = optimize_suite(suite, universe, spec, n);
+  const std::string text = to_canonical_string(cert);
+  if (out_path.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    out << text;
+    out.flush();
+    require(out.good(), "failed to write certificate to " + out_path);
   }
-  std::cout << findings.size() << " lint finding(s)\n";
-  return 1;
+  std::size_t cover_rows = 0;
+  for (const CertificateDrop& drop : cert.dropped) {
+    cover_rows += drop.covers.size();
+  }
+  std::cerr << "optimize: kept " << cert.kept.size() << " of "
+            << suite.size() << " tests over " << universe.size()
+            << " faults at n=" << n << " (" << cert.dropped.size()
+            << " dropped, " << cover_rows << " witness rows)\n";
+  return 0;
+}
+
+int cmd_verify(const std::string& cert_path, const std::string& list_file) {
+  const Certificate cert = load_certificate_file(cert_path);
+  FaultList universe;
+  if (!list_file.empty()) {
+    universe = load_fault_list_file(list_file);
+  } else {
+    require(!cert.universe_spec.empty(),
+            "certificate pins an external universe by hash only — pass the "
+            "same fault list with --list-file");
+    universe = FaultUniverse::parse(cert.universe_spec).materialize();
+  }
+  const CertificateCheck check = verify_certificate(cert, universe);
+  for (const std::string& problem : check.problems) {
+    std::cout << cert_path << ": " << problem << "\n";
+  }
+  std::cout << cert_path << ": " << check.summary() << "\n";
+  return check.ok ? 0 : 1;
 }
 
 int cmd_dot(const std::string& which) {
@@ -450,7 +557,7 @@ std::string json_escape(const std::string& text) {
 }
 
 int cmd_matrix(const std::string& path, std::size_t threads,
-               std::size_t queue_capacity, bool reject,
+               std::size_t queue_capacity, bool reject, bool static_prefilter,
                const std::string& store_path,
                const SweepStoreOptions& store_options) {
   const JobFile file = load_job_file(path);
@@ -515,6 +622,7 @@ int cmd_matrix(const std::string& path, std::size_t threads,
   options.when_full =
       reject ? BackpressurePolicy::Reject : BackpressurePolicy::Block;
   options.store = store.has_value() ? &*store : nullptr;
+  options.static_prefilter = static_prefilter;
   options.cancel = &g_interrupt;
   options.on_result = [&](const MatrixJobResult& result) {
     const ResolvedJob& entry = resolved[result.job_id];
@@ -553,8 +661,9 @@ int cmd_matrix(const std::string& path, std::size_t threads,
     const MatrixServiceStats stats = service.stats();
     std::lock_guard<std::mutex> lock(output_mutex);
     std::cerr << "matrix: " << stats.completed << " completed ("
-              << stats.store_hits << " from store), " << stats.failed
-              << " failed, " << stats.cancelled << " cancelled, "
+              << stats.store_hits << " from store, " << stats.static_served
+              << " statically served), " << stats.failed << " failed, "
+              << stats.cancelled << " cancelled, "
               << stats.deadline_exceeded << " deadline-exceeded, "
               << stats.rejected << " rejected of " << resolved.size()
               << " jobs\n";
@@ -587,13 +696,20 @@ int usage() {
       << "    test name; defaults to \"March SL\" when omitted\n"
       << "    <list>: a built-in list name, or --list-file <path> instead\n"
       << "  mtg_cli matrix <jobfile> [--threads <k>] [--queue-capacity <q>] "
-         "[--reject] [--store <dir>]\n"
+         "[--reject] [--store <dir>] [--static-prefilter]\n"
       << "    batch coverage-matrix service over a 'jobs v1' file; one JSON "
          "line per job\n"
       << "  (stores: --store-retries <k> and --store-backoff-ms <ms> tune "
          "the write-retry ladder)\n"
       << "  mtg_cli lint [<test>...] [<list>] [n] [--list-file <path>] "
-         "[--suite-file <path>]\n"
+         "[--suite-file <path>] [--werror]\n"
+      << "  mtg_cli lint --jobs-file <path> [--werror]\n"
+      << "  mtg_cli optimize <suite-file> [n] [--list <universe-spec>] "
+         "[--list-file <path>] [--out <path>]\n"
+      << "    greedy minimal sub-suite + 'certificate v1' proof; universe "
+         "spec e.g. \"simple+decoder[0,12)\"\n"
+      << "  mtg_cli verify <certificate-file> [--list-file <path>]\n"
+      << "    re-check a certificate against the packed simulation engine\n"
       << "  mtg_cli check <path>...\n"
       << "  mtg_cli dot <g0|pgcf>\n";
   return 2;
@@ -614,14 +730,16 @@ int main(int argc, char** argv) {
       return cmd_check(std::vector<std::string>(argv + 2, argv + argc));
     }
     if (command == "lists" || command == "generate" ||
-        command == "coverage" || command == "lint" || command == "matrix") {
+        command == "coverage" || command == "lint" || command == "matrix" ||
+        command == "optimize" || command == "verify") {
       // Shared flag/positional split for the catalog-aware commands.
       std::vector<std::string> positional;
       std::string list_file, suite_file, sweep_sizes, store_path;
+      std::string universe_spec, out_path, jobs_file;
       std::size_t cap = 4096;
       bool stats = false;
       std::size_t threads = 0, queue_capacity = 256;
-      bool reject = false;
+      bool reject = false, werror = false, static_prefilter = false;
       SweepStoreOptions store_options;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -653,6 +771,16 @@ int main(int argc, char** argv) {
           reject = true;
         } else if (arg == "--stats") {
           stats = true;
+        } else if (arg == "--werror") {
+          werror = true;
+        } else if (arg == "--static-prefilter") {
+          static_prefilter = true;
+        } else if (arg == "--list" && i + 1 < argc) {
+          universe_spec = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+          out_path = argv[++i];
+        } else if (arg == "--jobs-file" && i + 1 < argc) {
+          jobs_file = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
           return usage();
         } else {
@@ -662,17 +790,58 @@ int main(int argc, char** argv) {
 
       if (command == "matrix") {
         if (positional.size() != 1 || stats || !sweep_sizes.empty() ||
-            !list_file.empty() || !suite_file.empty()) {
+            !list_file.empty() || !suite_file.empty() ||
+            !universe_spec.empty() || !out_path.empty() ||
+            !jobs_file.empty() || werror) {
           return usage();
         }
         install_interrupt_handler();
         return cmd_matrix(positional[0], threads, queue_capacity, reject,
-                          store_path, store_options);
+                          static_prefilter, store_path, store_options);
       }
-      if (threads != 0 || queue_capacity != 256 || reject) return usage();
+      if (threads != 0 || queue_capacity != 256 || reject ||
+          static_prefilter) {
+        return usage();
+      }
+
+      if (command == "optimize") {
+        if (stats || werror || !sweep_sizes.empty() || !store_path.empty() ||
+            !suite_file.empty() || !jobs_file.empty() ||
+            (!universe_spec.empty() && !list_file.empty())) {
+          return usage();
+        }
+        // Positionals: <suite-file> [n].
+        std::string suite_path;
+        std::size_t n = 6;
+        for (const std::string& arg : positional) {
+          if (all_digits(arg)) {
+            n = parse_memory_size(arg, "memory size");
+          } else if (suite_path.empty()) {
+            suite_path = arg;
+          } else {
+            return usage();
+          }
+        }
+        if (suite_path.empty()) return usage();
+        return cmd_optimize(suite_path, universe_spec, list_file, n,
+                            out_path);
+      }
+
+      if (command == "verify") {
+        if (positional.size() != 1 || stats || werror ||
+            !sweep_sizes.empty() || !store_path.empty() ||
+            !suite_file.empty() || !jobs_file.empty() ||
+            !universe_spec.empty() || !out_path.empty()) {
+          return usage();
+        }
+        return cmd_verify(positional[0], list_file);
+      }
+      if (!universe_spec.empty() || !out_path.empty()) return usage();
 
       if (command == "lists") {
-        if (!positional.empty() || stats) return usage();
+        if (!positional.empty() || stats || werror || !jobs_file.empty()) {
+          return usage();
+        }
         return cmd_lists(list_file, suite_file);
       }
 
@@ -682,6 +851,15 @@ int main(int argc, char** argv) {
         // test spec (march notation or a catalog/suite test name).
         if (stats || !sweep_sizes.empty() || !store_path.empty()) {
           return usage();
+        }
+        if (!jobs_file.empty()) {
+          // Jobs-file mode is its own lint target: the checks are about the
+          // batch file's internal consistency, not any one catalog.
+          if (!positional.empty() || !list_file.empty() ||
+              !suite_file.empty()) {
+            return usage();
+          }
+          return cmd_lint_jobs(jobs_file, werror);
         }
         std::vector<std::string> specs;
         std::string lint_list = "list1";
@@ -696,8 +874,10 @@ int main(int argc, char** argv) {
             specs.push_back(arg);
           }
         }
-        return cmd_lint(specs, lint_list, list_file, suite_file, lint_n);
+        return cmd_lint(specs, lint_list, list_file, suite_file, lint_n,
+                        werror);
       }
+      if (werror || !jobs_file.empty()) return usage();
 
       if (command == "generate") {
         if (positional.size() != (list_file.empty() ? 1 : 0)) return usage();

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_analysis.json against the committed baseline.
+
+Usage: compare_bench_analysis.py <current.json> <baseline.json> [--factor 2.0]
+
+Hard-fails (exit 1) when the current unknown_rate is nonzero: the zero-
+Unknown contract is a correctness gate, not a performance number — every
+shipped (test, list) pair must resolve to a definite verdict.  Everything
+else follows the service-bench convention: a GitHub Actions `::warning::`
+annotation for per-pair analyzer timings that regressed by more than the
+factor and for shape drift (pair set, fault counts, detected counts), but
+timing warnings never fail the job — CI runners are noisy, so a slowdown is
+a flag for a human, not a gate.
+
+Exit codes: 0 = compared (with or without warnings), 1 = unknown_rate != 0,
+2 = malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def warn(message: str) -> None:
+    print(f"::warning ::{message}")
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+    if data.get("bench") != "analysis":
+        print(f"error: {path} is not an analysis bench summary",
+              file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="regression threshold (default: 2.0x)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    rate = current.get("unknown_rate")
+    if not isinstance(rate, (int, float)):
+        print(f"error: {args.current} has no numeric unknown_rate",
+              file=sys.stderr)
+        return 2
+    if rate != 0:
+        print(f"error: unknown_rate {rate} != 0 — an analyzer verdict "
+              "regressed to Unknown", file=sys.stderr)
+        return 1
+
+    warnings = 0
+    baseline_pairs = {(r["test"], r["list"]): r
+                      for r in baseline.get("analyzer", [])}
+    for record in current.get("analyzer", []):
+        key = (record["test"], record["list"])
+        ref = baseline_pairs.pop(key, None)
+        label = f"{key[0]} vs {key[1]}"
+        if ref is None:
+            warn(f"{label}: no baseline to compare against (workload drift "
+                 "— refresh the baseline)")
+            warnings += 1
+            continue
+        for field in ("faults", "detected"):
+            if record.get(field, 0) != ref.get(field, 0):
+                warn(f"{label}: {field} changed: {record.get(field)} vs "
+                     f"baseline {ref.get(field)} (verdict drift — refresh "
+                     "the baseline)")
+                warnings += 1
+        cur_s = record.get("seconds", 0.0)
+        ref_s = ref.get("seconds", 0.0)
+        if ref_s > 0 and cur_s > args.factor * ref_s:
+            warn(f"{label}: {1e3 * cur_s:.3f} ms vs baseline "
+                 f"{1e3 * ref_s:.3f} ms (>{args.factor:.1f}x regression)")
+            warnings += 1
+    for key in baseline_pairs:
+        warn(f"{key[0]} vs {key[1]}: present in baseline but not in the "
+             "current run (workload drift — refresh the baseline)")
+        warnings += 1
+
+    if warnings == 0:
+        pairs = len(current.get("analyzer", []))
+        print(f"OK: unknown_rate 0 over {pairs} (test, list) pairs, timings "
+              f"within {args.factor:.1f}x of baseline")
+    else:
+        print(f"{warnings} warning(s) — see annotations above")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

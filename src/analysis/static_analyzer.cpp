@@ -302,6 +302,10 @@ std::string mask_string(std::uint64_t mask, std::size_t any_count) {
   return bits;
 }
 
+/// ⇕ resolutions beyond the 64-bit witness mask are walked exactly but not
+/// recorded: verdicts stay sound, the replay metadata just truncates.
+constexpr std::size_t kAnyMaskBits = 64;
+
 /// The core walk: runs `machine` through `test`, branching on ⇕ elements.
 StaticResult analyze_machine(const MarchTest& test, const SlotMachine& machine,
                              const AnalysisOptions& options,
@@ -344,15 +348,69 @@ StaticResult analyze_machine(const MarchTest& test, const SlotMachine& machine,
   }
 
   std::optional<Detection> first_detection;
-  std::size_t any_index = 0;
   const std::size_t total_any = FaultSimulator::any_order_count(test);
+
+  // ⇕ numbering as a function of the element index, shared by the
+  // breadth-first walk and the widened depth-first finish (which revisits
+  // elements out of lockstep).
+  std::vector<std::size_t> any_before(test.elements().size() + 1, 0);
+  for (std::size_t e = 0; e < test.elements().size(); ++e) {
+    any_before[e + 1] =
+        any_before[e] +
+        (test.elements()[e].order() == AddressOrder::Any ? 1 : 0);
+  }
+
+  // Runs one configuration through element `e` under a fixed address order.
+  // Returns true when a read detected the deviation (recording the first
+  // detection overall), false when the configuration survives the element.
+  const auto walk_element = [&](Config& c, std::size_t e,
+                                AddressOrder order) -> bool {
+    const MarchElement& element = test.elements()[e];
+    for (std::size_t step = 0; step < machine.slots; ++step) {
+      const std::size_t slot =
+          order == AddressOrder::Up ? step : machine.slots - 1 - step;
+      for (std::size_t i = 0; i < element.ops().size(); ++i) {
+        const Op op = element.ops()[i];
+        if (is_write(op)) {
+          const Bit value = written_value(op);
+          c.good[slot] = value;
+          interp.write(c, slot, value, e, i);
+        } else if (is_read(op)) {
+          const Bit expected = c.good[slot];
+          const Bit observed = interp.read(c, slot, e, i);
+          if (observed != expected) {
+            if (!first_detection.has_value()) {
+              first_detection = Detection{e, i, slot, expected, observed, c};
+            }
+            return true;
+          }
+        } else {
+          interp.wait(c, slot, e, i);
+        }
+      }
+    }
+    return false;
+  };
+
+  const auto escape_result = [&](const Config& escape) {
+    std::ostringstream reason;
+    reason << subject << " escapes: power-on " << to_char(escape.power_on);
+    if (total_any > 0) {
+      reason << ", ⇕ resolved as "
+             << mask_string(escape.any_mask,
+                            std::min(total_any, kAnyMaskBits));
+      if (total_any > kAnyMaskBits) {
+        reason << "… (first " << kAnyMaskBits << " of " << total_any << ")";
+      }
+    }
+    reason << " produces no failing read";
+    return not_detected_result(reason.str());
+  };
 
   for (std::size_t e = 0; e < test.elements().size() && !live.empty(); ++e) {
     const MarchElement& element = test.elements()[e];
     const bool branching = element.order() == AddressOrder::Any;
-    if (branching && any_index >= 64) {
-      return unknown_result(subject + ": more than 64 ⇕ elements");
-    }
+    const std::size_t any_index = any_before[e];
 
     std::vector<Config> next;
     next.reserve(live.size() * (branching ? 2 : 1));
@@ -365,37 +423,10 @@ StaticResult analyze_machine(const MarchTest& test, const SlotMachine& machine,
             branching ? (branch != 0 ? AddressOrder::Down : AddressOrder::Up)
                       : element.order();
         Config c = base;
-        if (branching && branch != 0) {
+        if (branching && branch != 0 && any_index < kAnyMaskBits) {
           c.any_mask |= std::uint64_t{1} << any_index;
         }
-        bool detected = false;
-        for (std::size_t step = 0; step < machine.slots && !detected;
-             ++step) {
-          const std::size_t slot = order == AddressOrder::Up
-                                       ? step
-                                       : machine.slots - 1 - step;
-          for (std::size_t i = 0; i < element.ops().size(); ++i) {
-            const Op op = element.ops()[i];
-            if (is_write(op)) {
-              const Bit value = written_value(op);
-              c.good[slot] = value;
-              interp.write(c, slot, value, e, i);
-            } else if (is_read(op)) {
-              const Bit expected = c.good[slot];
-              const Bit observed = interp.read(c, slot, e, i);
-              if (observed != expected) {
-                if (!first_detection.has_value()) {
-                  first_detection = Detection{e, i, slot, expected, observed, c};
-                }
-                detected = true;
-                break;
-              }
-            } else {
-              interp.wait(c, slot, e, i);
-            }
-          }
-        }
-        if (!detected) {
+        if (!walk_element(c, e, order)) {
           const std::uint32_t key = config_key(c);
           if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
             seen.push_back(key);
@@ -406,10 +437,54 @@ StaticResult analyze_machine(const MarchTest& test, const SlotMachine& machine,
     }
 
     live.swap(next);
-    if (branching) ++any_index;
     if (live.size() > options.max_states) {
-      return unknown_result(subject + ": abstract state set exceeded " +
-                            std::to_string(options.max_states) + " states");
+      // Configuration-key widening: the breadth-first frontier outgrew the
+      // budget, so finish every surviving configuration depth-first.  The
+      // per-element semantics are identical (walk_element), memory stays
+      // bounded by the stack (<= remaining elements x 2), and only the
+      // explicit step budget — not reachable for catalog-shaped machines —
+      // trades exactness away.
+      struct Frame {
+        std::size_t element;
+        Config config;
+      };
+      std::vector<Frame> stack;
+      stack.reserve(live.size());
+      for (auto it = live.rbegin(); it != live.rend(); ++it) {
+        stack.push_back(Frame{e + 1, *it});
+      }
+      live.clear();
+      std::size_t steps = 0;
+      while (!stack.empty()) {
+        Frame frame = std::move(stack.back());
+        stack.pop_back();
+        if (frame.element == test.elements().size()) {
+          return escape_result(frame.config);
+        }
+        if (++steps > options.widen_step_budget) {
+          return unknown_result(
+              subject + ": widened walk exceeded " +
+              std::to_string(options.widen_step_budget) + " element steps");
+        }
+        const bool fork =
+            test.elements()[frame.element].order() == AddressOrder::Any;
+        const std::size_t fork_index = any_before[frame.element];
+        // Down pushed first so Up is explored first, matching the
+        // breadth-first branch order.
+        for (int branch = fork ? 1 : 0; branch >= 0; --branch) {
+          const AddressOrder order =
+              fork ? (branch != 0 ? AddressOrder::Down : AddressOrder::Up)
+                   : test.elements()[frame.element].order();
+          Config c = frame.config;
+          if (fork && branch != 0 && fork_index < kAnyMaskBits) {
+            c.any_mask |= std::uint64_t{1} << fork_index;
+          }
+          if (!walk_element(c, frame.element, order)) {
+            stack.push_back(Frame{frame.element + 1, std::move(c)});
+          }
+        }
+      }
+      break;  // every widened configuration was detected: live stays empty
     }
   }
 
@@ -441,14 +516,7 @@ StaticResult analyze_machine(const MarchTest& test, const SlotMachine& machine,
     return result;
   }
 
-  const Config& escape = live.front();
-  std::ostringstream reason;
-  reason << subject << " escapes: power-on " << to_char(escape.power_on);
-  if (total_any > 0) {
-    reason << ", ⇕ resolved as " << mask_string(escape.any_mask, total_any);
-  }
-  reason << " produces no failing read";
-  return not_detected_result(reason.str());
+  return escape_result(live.front());
 }
 
 /// C(n, k) saturating at uint64 max — the uncapped instantiate() count.
@@ -522,7 +590,11 @@ std::string StaticWitness::to_string() const {
       << " holds " << to_char(expected) << " (cell rank " << observe_slot
       << "; power-on " << to_char(power_on);
   if (any_count > 0) {
-    out << ", ⇕ resolved as " << mask_string(any_mask, any_count);
+    out << ", ⇕ resolved as "
+        << mask_string(any_mask, std::min(any_count, kAnyMaskBits));
+    if (any_count > kAnyMaskBits) {
+      out << "… (first " << kAnyMaskBits << " of " << any_count << ")";
+    }
   }
   out << ")";
   if (has_sense) {
@@ -727,6 +799,99 @@ StaticCoverage analyze_coverage(const MarchTest& test, const FaultList& list,
         static_instance_count(fault, n));
   }
   return coverage;
+}
+
+namespace {
+
+/// Exact number of layouts instantiate() keeps for an FP fault under `cap`,
+/// or nullopt when the kept count is not analytic: the uncapped count
+/// saturated uint64, or bounded_subsets' seeded-random tier (count > 4*cap)
+/// whose attempt bound may keep fewer than `cap` layouts.
+std::optional<std::uint64_t> exact_fp_kept(std::uint64_t uncapped,
+                                           std::size_t cap) {
+  if (uncapped == std::numeric_limits<std::uint64_t>::max()) {
+    return std::nullopt;
+  }
+  if (cap == 0 || uncapped <= cap) return uncapped;
+  // Mirror of bounded_subsets' tier test: the evenly-spaced tier keeps
+  // exactly `cap` distinct layouts.
+  if (uncapped <= 4 * static_cast<std::uint64_t>(cap)) return cap;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<CoverageReport> static_coverage_report(
+    const MarchTest& test, const FaultList& list, std::size_t n,
+    std::size_t max_instances_per_fault, const AnalysisOptions& options) {
+  FaultSimulator::validate(test);  // same throw as evaluate_coverage
+  CoverageReport report;
+  report.test_name = test.name().empty() ? test.to_string() : test.name();
+  report.list_name = list.name;
+  report.test_complexity = test.complexity();
+  report.entries.resize(fault_count(list));
+
+  std::size_t index = 0;
+  const auto serve = [&report, &index](const std::string& name,
+                                       const StaticResult& result,
+                                       std::optional<std::uint64_t> kept) {
+    CoverageEntry& entry = report.entries[index];
+    entry.fault_index = index;
+    entry.fault = name;
+    ++index;
+    if (result.verdict == StaticVerdict::Unknown || !kept.has_value()) {
+      return false;
+    }
+    if (*kept == 0) {
+      // evaluate_coverage's zero-instance convention, byte for byte.
+      entry.covered = false;
+      entry.escape_description = "no instances fit the simulated memory";
+      return true;
+    }
+    if (result.verdict == StaticVerdict::NotDetected) {
+      // The detected-instance split (and the first escaping instance's
+      // description) is a per-instance property the fault-level verdict
+      // does not determine.
+      return false;
+    }
+    if (*kept > std::numeric_limits<std::size_t>::max()) return false;
+    entry.instances = static_cast<std::size_t>(*kept);
+    entry.detected = entry.instances;
+    entry.covered = true;
+    return true;
+  };
+
+  const std::size_t cap = max_instances_per_fault;
+  for (const SimpleFault& fault : list.simple) {
+    if (static_cast<std::size_t>(fault.num_cells()) > n) {
+      return std::nullopt;  // instantiate() refuses; the job must Fail
+    }
+    if (!serve(fault.name, analyze_fault(test, fault, n, options),
+               exact_fp_kept(static_instance_count(fault, n), cap))) {
+      return std::nullopt;
+    }
+  }
+  for (const LinkedFault& fault : list.linked) {
+    if (static_cast<std::size_t>(fault.num_cells()) > n) {
+      return std::nullopt;
+    }
+    if (!serve(fault.name(), analyze_fault(test, fault, n, options),
+               exact_fp_kept(static_instance_count(fault, n), cap))) {
+      return std::nullopt;
+    }
+  }
+  for (const DecoderFault& fault : list.decoder) {
+    // Decoder sampling keeps exactly min(count, cap) addresses: always
+    // analytic (a fault on a missing address line has zero instances —
+    // no throw, unlike the FP layouts).
+    const std::uint64_t count = static_instance_count(fault, n);
+    const std::uint64_t kept =
+        cap == 0 ? count : std::min<std::uint64_t>(count, cap);
+    if (!serve(fault.name(), analyze_fault(test, fault, n, options), kept)) {
+      return std::nullopt;
+    }
+  }
+  return report;
 }
 
 }  // namespace mtg

@@ -28,7 +28,19 @@
 //     through the last
 //     element undetected     -> NotDetected   (that scenario escapes)
 //   * unsupported shape or
-//     state-set blowup       -> Unknown       (fall back to simulation)
+//     exhausted step budget  -> Unknown       (fall back to simulation)
+//
+// A frontier that outgrows the state budget does NOT give up: the walk
+// *widens* from breadth-first dedup to an exact depth-first finish of the
+// overflowing configurations (same per-element semantics, bounded memory),
+// and only exhausting the configurable step budget of that finish yields
+// Unknown.  Configuration keys make the dedup exact — future behaviour
+// depends only on (faulty cells, fault-free cells, armed flags) — so for
+// every catalog-shaped fault (<= 2 FPs) the budget is unreachable and the
+// analyzer is total: the remaining Unknown exits are genuinely out-of-domain
+// machines (> 4 involved cells, decoder faults mixed with FPs inside ONE
+// instance — a combination both simulation engines refuse as well; lists
+// that merely contain both kinds decompose per fault).
 //
 // Soundness contract: a definite verdict (Detected / NotDetected) agrees
 // with both simulation engines — locked by the three-way
@@ -57,6 +69,7 @@
 #include "common/bit.hpp"
 #include "fp/fault_list.hpp"
 #include "march/march_test.hpp"
+#include "sim/coverage.hpp"
 #include "sim/fault_instance.hpp"
 
 namespace mtg {
@@ -109,10 +122,15 @@ struct AnalysisOptions {
   /// Must match SimulatorOptions::both_power_on_states when verdicts are
   /// compared against engine results.
   bool both_power_on_states = true;
-  /// Abstract state-set cap: exceeding it yields Unknown.  The set is
-  /// bounded by #cell-values x #armed-flags (tiny), so the cap is a
-  /// safety net, not an expected exit.
+  /// Breadth-first frontier cap.  The deduped set is bounded by
+  /// #cell-values x #armed-flags (tiny), so overflowing it takes a
+  /// deliberately small setting; when it happens the walk widens to the
+  /// exact depth-first finish instead of giving up.
   std::size_t max_states = 4096;
+  /// Element-walk budget of the widened depth-first finish (configs x
+  /// elements stepped).  Exhausting it is the analyzer's only Unknown exit
+  /// for in-domain machines.
+  std::size_t widen_step_budget = std::size_t{1} << 22;
 };
 
 /// Static verdict for one bound instance — the same question
@@ -163,5 +181,27 @@ struct StaticCoverage {
 StaticCoverage analyze_coverage(const MarchTest& test, const FaultList& list,
                                 std::size_t n,
                                 const AnalysisOptions& options = {});
+
+/// The statically-served CoverageReport: when every fault of `list` resolves
+/// to a definite verdict AND the instance counts the simulator would produce
+/// under `max_instances_per_fault` are analytically exact, returns a report
+/// byte-identical to
+///   evaluate_coverage(FaultSimulator({n, ...}), test, list, cap)
+/// without simulating anything.  Returns nullopt — caller falls back to
+/// simulation — whenever exactness cannot be certified:
+///   * any Unknown verdict, or a NotDetected fault with instances (the
+///     simulated report's detected-instance split is not a fault-level
+///     property),
+///   * a fault whose layout does not fit the memory (instantiate() throws
+///     there; the simulated job fails and the static path must not mask it),
+///   * a capped FP fault in instantiate()'s seeded-random sampling tier
+///     (count > 4*cap), where the kept-layout count is not analytic, or an
+///     instance count saturating the uint64 range.
+/// Detected faults under a cap use the sampler's exact keep counts: all
+/// C(n,k) layouts when they fit the cap, exactly `cap` evenly-spaced ones in
+/// the moderate tier, exactly min(count, cap) decoder addresses.
+std::optional<CoverageReport> static_coverage_report(
+    const MarchTest& test, const FaultList& list, std::size_t n,
+    std::size_t max_instances_per_fault, const AnalysisOptions& options = {});
 
 }  // namespace mtg

@@ -88,7 +88,8 @@ bool valid_alias(std::string_view alias) {
   return true;
 }
 
-JobFileRecord parse_job_record(const LineReader& reader) {
+JobFileRecord parse_job_record(const LineReader& reader,
+                               std::optional<TextPosition>* deadline_pos) {
   const std::string_view line = reader.line();
   JobFileRecord job;
   job.line = reader.line_number();
@@ -135,6 +136,11 @@ JobFileRecord parse_job_record(const LineReader& reader) {
         reader.fail(key_begin + 1, "duplicate deadline_ms= field");
       }
       saw_deadline = true;
+      job.deadline_given = true;
+      if (deadline_pos != nullptr) {
+        *deadline_pos = TextPosition{reader.line_number(),
+                                     reader.line_indent() + key_begin};
+      }
       job.deadline =
           std::chrono::milliseconds(read_number(reader, pos, "deadline_ms="));
     } else {
@@ -152,7 +158,8 @@ JobFileRecord parse_job_record(const LineReader& reader) {
 
 }  // namespace
 
-JobFile parse_job_file_text(std::string_view text, const std::string& source) {
+JobFile parse_job_file_text(std::string_view text, const std::string& source,
+                            JobFilePositions* positions) {
   LineReader reader(text, source);
   if (!reader.next()) {
     reader.fail_at_end("empty document: expected 'jobs v1' header");
@@ -212,7 +219,14 @@ JobFile parse_job_file_text(std::string_view text, const std::string& source) {
       }
       file.fault_list_files.emplace_back(std::string(alias), std::move(path));
     } else if (keyword == "job") {
-      file.jobs.push_back(parse_job_record(reader));
+      std::optional<TextPosition>* deadline_slot = nullptr;
+      if (positions != nullptr) {
+        positions->jobs.push_back(
+            TextPosition{reader.line_number(), reader.line_indent()});
+        positions->deadlines.emplace_back();
+        deadline_slot = &positions->deadlines.back();
+      }
+      file.jobs.push_back(parse_job_record(reader, deadline_slot));
     } else {
       reader.fail(1, "unknown record '" + std::string(keyword) +
                          "' (expected: suite, faultlist or job)");
@@ -225,8 +239,8 @@ JobFile parse_job_file_text(std::string_view text, const std::string& source) {
   return file;
 }
 
-JobFile load_job_file(const std::string& path) {
-  JobFile file = parse_job_file_text(read_text_file(path), path);
+JobFile load_job_file(const std::string& path, JobFilePositions* positions) {
+  JobFile file = parse_job_file_text(read_text_file(path), path, positions);
   // Relative directive paths resolve against the job file's own directory,
   // so a job file travels with its catalogs.
   const std::size_t slash = path.find_last_of('/');

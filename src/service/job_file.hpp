@@ -29,9 +29,12 @@
 
 #include <chrono>
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/text_position.hpp"
 
 namespace mtg {
 
@@ -43,7 +46,21 @@ struct JobFileRecord {
   std::size_t memory_size = 0;
   std::size_t max_instances_per_fault = 4096;  ///< cap= (default: no key set)
   std::chrono::milliseconds deadline{0};       ///< deadline_ms= (0 = none)
+  /// True when the record spelled out deadline_ms= — the linter needs to
+  /// tell an explicit deadline_ms=0 (a no-op worth flagging) from the
+  /// default.
+  bool deadline_given = false;
   std::size_t line = 0;  ///< 1-based line in the job file (diagnostics)
+};
+
+/// Document positions of the job records, index-aligned with JobFile::jobs —
+/// the anchors the jobs-file linter (service/job_lint.hpp) attaches
+/// diagnostics to.
+struct JobFilePositions {
+  /// The 'job' keyword of each record.
+  std::vector<TextPosition> jobs;
+  /// The deadline_ms= key of each record; nullopt when the field is absent.
+  std::vector<std::optional<TextPosition>> deadlines;
 };
 
 struct JobFile {
@@ -59,11 +76,14 @@ struct JobFile {
 /// (line:column-annotated) on malformed input, duplicate aliases, a second
 /// suite directive, a directive after the first job, or an empty job list.
 /// Paths are recorded as written (no directory resolution).
+/// A non-null `positions` receives one entry per job record.
 JobFile parse_job_file_text(std::string_view text,
-                            const std::string& source = "<string>");
+                            const std::string& source = "<string>",
+                            JobFilePositions* positions = nullptr);
 
 /// read_text_file + parse_job_file_text with the path as the source name,
 /// then resolves relative directive paths against the job file's directory.
-JobFile load_job_file(const std::string& path);
+JobFile load_job_file(const std::string& path,
+                      JobFilePositions* positions = nullptr);
 
 }  // namespace mtg

@@ -1,0 +1,53 @@
+// Linter for 'jobs v1' files (service/job_file.hpp) — batch-input hygiene
+// checks that the parser deliberately does not enforce, reported with the
+// same path:line:column diagnostics as the catalog linter.
+//
+// Checks:
+//   * duplicate-job — two records with the same (test, list, n, cap) key:
+//     the matrix service deduplicates by content hash, so the second job
+//     burns a queue slot to recompute (or store-hit) the same report;
+//   * undefined-reference — a test= name (a spec without '(') defined by
+//     neither the bound suite nor the built-in catalog, or a list= name
+//     that is neither a faultlist alias nor a built-in list name
+//     (list1, list2, simple, retention, decoder);
+//   * implausible-deadline — an explicit deadline_ms=0 (spells out the
+//     default, disabling nothing), a sub-10ms deadline (expires while the
+//     job sits in the queue), or one beyond 24h (effectively no deadline,
+//     probably a unit mistake).
+//
+// Findings anchor to the 'job' keyword of the offending record (deadline
+// findings to the deadline_ms= key) when the caller passes the
+// JobFilePositions recorded at parse time.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "format/suite_text.hpp"
+#include "service/job_file.hpp"
+
+namespace mtg {
+
+struct JobLintOptions {
+  /// Deadlines below this are flagged: the service's queue latency alone
+  /// exceeds them under any contention.
+  std::chrono::milliseconds min_plausible_deadline{10};
+  /// Deadlines above this are flagged as a probable unit mistake
+  /// (milliseconds vs seconds).
+  std::chrono::milliseconds max_plausible_deadline{
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::hours{24})};
+};
+
+/// Lints a parsed job file.  `suite` is the resolved suite the file's suite
+/// directive names (nullptr when the file binds none — test-name checks then
+/// fall back to the built-in catalog alone).  `positions`, when recorded by
+/// parse_job_file_text, anchors findings to record positions.
+std::vector<LintFinding> lint_job_file(
+    const JobFile& file, const MarchSuite* suite,
+    const JobLintOptions& options = {}, const std::string& source = "<jobs>",
+    const JobFilePositions* positions = nullptr);
+
+}  // namespace mtg

@@ -1,0 +1,131 @@
+// Unknown-domain elimination: the symbolic analyzer must resolve every
+// (catalog test, built-in list) pair — and every shipped example catalog —
+// to a definite verdict.  Unknown is reserved for genuinely out-of-domain
+// machines (> 4 involved cells, decoder+FP in one instance, an exhausted
+// widening budget); nothing the repo ships is allowed to hit those exits.
+//
+// Also locks the configuration-key widening itself: forcing the analyzer
+// off its BFS+dedup path (max_states = 1) onto the bounded-memory DFS walk
+// must leave every verdict unchanged — widening trades memory for steps,
+// never exactness.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/static_analyzer.hpp"
+#include "format/catalog_io.hpp"
+#include "format/fault_list_text.hpp"
+#include "format/suite_text.hpp"
+#include "fp/fault_list.hpp"
+#include "march/catalog.hpp"
+#include "march/parser.hpp"
+
+namespace mtg {
+namespace {
+
+std::vector<std::pair<std::string, FaultList>> builtin_lists() {
+  return {{"list1", fault_list_1()},
+          {"list2", fault_list_2()},
+          {"simple", standard_simple_static_faults()},
+          {"retention", retention_fault_list()},
+          {"decoder", decoder_fault_list()}};
+}
+
+std::filesystem::path example_catalog_dir() {
+  return std::filesystem::path(MTG_TESTS_SOURCE_DIR) / ".." / "examples" /
+         "catalogs";
+}
+
+TEST(ZeroUnknown, EveryCatalogTestResolvesEveryBuiltinList) {
+  // Memory sizes bracket the domain: the smallest the linked3 faults fit,
+  // the default, one multi-word size, and one large enough that any
+  // accidental n-dependence in the state walk would show.
+  const std::size_t sizes[] = {4, 6, 64, 4096};
+  for (const MarchTest& test : all_catalog_tests()) {
+    for (const auto& [list_name, list] : builtin_lists()) {
+      for (const std::size_t n : sizes) {
+        const StaticCoverage coverage = analyze_coverage(test, list, n);
+        EXPECT_EQ(coverage.unknown, 0u)
+            << test.name() << " vs " << list_name << " at n=" << n;
+        for (const StaticCoverageEntry& entry : coverage.entries) {
+          if (entry.verdict == StaticVerdict::Unknown) {
+            ADD_FAILURE() << test.name() << " vs " << list_name << " at n="
+                          << n << ": " << entry.fault_name << " — "
+                          << entry.reason;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ZeroUnknown, ShippedExampleCatalogsResolveDefinitely) {
+  const MarchSuite suite = load_march_suite_file(
+      (example_catalog_dir() / "classic.suite").string());
+  ASSERT_GT(suite.size(), 0u);
+  const FaultList custom = load_fault_list_file(
+      (example_catalog_dir() / "custom_static.faults").string());
+  ASSERT_GT(custom.size(), 0u);
+
+  auto lists = builtin_lists();
+  lists.emplace_back("custom_static.faults", custom);
+  for (const MarchTest& test : suite.tests) {
+    for (const auto& [list_name, list] : lists) {
+      for (const std::size_t n : {std::size_t{6}, std::size_t{64}}) {
+        const StaticCoverage coverage = analyze_coverage(test, list, n);
+        EXPECT_EQ(coverage.unknown, 0u)
+            << test.name() << " vs " << list_name << " at n=" << n;
+      }
+    }
+  }
+}
+
+TEST(ZeroUnknown, WideningPreservesEveryVerdict) {
+  // max_states = 1 forces the DFS widening on the very first element for
+  // every fault; the walk is near-linear for the catalog (the only forks
+  // are ⇕ orders), so the budget is never close to exhausted and every
+  // verdict must equal the BFS+dedup run's.
+  AnalysisOptions widened;
+  widened.max_states = 1;
+  for (const MarchTest& test : all_catalog_tests()) {
+    for (const auto& [list_name, list] : builtin_lists()) {
+      const StaticCoverage exact = analyze_coverage(test, list, 6);
+      const StaticCoverage walked = analyze_coverage(test, list, 6, widened);
+      ASSERT_EQ(exact.entries.size(), walked.entries.size());
+      EXPECT_EQ(walked.unknown, 0u) << test.name() << " vs " << list_name;
+      for (std::size_t i = 0; i < exact.entries.size(); ++i) {
+        EXPECT_EQ(exact.entries[i].verdict, walked.entries[i].verdict)
+            << test.name() << " vs " << list_name << ": "
+            << exact.entries[i].fault_name
+            << (walked.entries[i].reason.empty()
+                    ? ""
+                    : " — " + walked.entries[i].reason);
+      }
+    }
+  }
+}
+
+TEST(ZeroUnknown, WideningBudgetExhaustionIsTheOnlyWideningUnknown) {
+  // Starving the DFS of steps is the one legitimate widening Unknown —
+  // and its reason says so, so the operator knows which knob to turn.
+  AnalysisOptions starved;
+  starved.max_states = 1;
+  starved.widen_step_budget = 1;
+  // A wait-only first element keeps both power-on configurations alive and
+  // distinct (no read to detect, no write to converge the good values), so
+  // a one-state cap widens right after it; with two elements still to walk
+  // a one-step budget exhausts before either configuration can escape.
+  const MarchTest test = parse_march_test("{^(t); ^(t); ^(t)}", "waits");
+  const FaultList simple = standard_simple_static_faults();
+  ASSERT_FALSE(simple.simple.empty());
+  const StaticResult result =
+      analyze_fault(test, simple.simple.front(), 6, starved);
+  EXPECT_EQ(result.verdict, StaticVerdict::Unknown);
+  EXPECT_NE(result.reason.find("widened"), std::string::npos)
+      << result.reason;
+}
+
+}  // namespace
+}  // namespace mtg
